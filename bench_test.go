@@ -1,0 +1,255 @@
+package opgate
+
+// The repository-level benchmark harness: one benchmark per table and
+// figure of the paper's evaluation (run them all with
+// `go test -bench=. -benchmem`), plus micro-benchmarks for the analysis
+// and simulation substrates. The table/figure benchmarks run the suite in
+// quick mode (train inputs) and report the headline metric of each
+// experiment as a custom unit so the regenerated result is visible in the
+// benchmark log.
+
+import (
+	"testing"
+
+	"opgate/internal/emu"
+	"opgate/internal/harness"
+	"opgate/internal/power"
+	"opgate/internal/uarch"
+	"opgate/internal/vrp"
+	"opgate/internal/vrs"
+	"opgate/internal/workload"
+)
+
+// benchSuite is shared across benchmarks; its caches make each experiment
+// incremental after the first run.
+var benchSuite = harness.NewSuite(true)
+
+func BenchmarkTable1ALUEnergy(b *testing.B) {
+	var v float64
+	for i := 0; i < b.N; i++ {
+		rep := benchSuite.Table1()
+		v = rep.MustValue("src 64", "8")
+	}
+	b.ReportMetric(v, "nJ-saved-64to8")
+}
+
+func BenchmarkTable3OpDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("ADD", "% of instrs"), "pct-ADD")
+	}
+}
+
+func BenchmarkFigure2WidthHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("Proposed VRP", "64 bits"), "pct-64bit-proposed")
+	}
+}
+
+func BenchmarkFigure3VRPEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("VRP", "Processor"), "pct-energy-saved")
+	}
+}
+
+func BenchmarkFigure4ProfiledPoints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure4(50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("Average", "no benefit"), "pct-filtered")
+	}
+}
+
+func BenchmarkFigure5StaticSpecialization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure5(50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("m88ksim", "eliminated"), "pct-eliminated-m88ksim")
+	}
+}
+
+func BenchmarkFigure6RuntimeSpecialization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure6(50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("Average", "specialized"), "pct-specialized")
+	}
+}
+
+func BenchmarkFigure7WidthByMechanism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure7(50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("VRP", "64 bits"), "pct-64bit-vrp")
+	}
+}
+
+func BenchmarkFigure8EnergySavings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("AVG", "VRS 50nJ"), "pct-energy-vrs50")
+	}
+}
+
+func BenchmarkFigure9PerStructure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("VRS 50nJ", "FU"), "pct-FU-vrs50")
+	}
+}
+
+func BenchmarkFigure10ExecTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("AVG", "VRS 50nJ"), "pct-time-saved")
+	}
+}
+
+func BenchmarkFigure11EnergyDelay2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("AVG", "VRS 50nJ"), "pct-ed2-vrs50")
+	}
+}
+
+func BenchmarkFigure12DataSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("occurrence", "1"), "pct-1byte")
+	}
+}
+
+func BenchmarkFigure13Hardware(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("AVG", "significance compression"), "pct-energy-hwsig")
+	}
+}
+
+func BenchmarkFigure14HardwarePerStructure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("significance compression", "Processor"), "pct-proc-hwsig")
+	}
+}
+
+func BenchmarkFigure15Combined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.Figure15(50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("AVG", "VRS 50 + hdw significance"), "pct-ed2-combined")
+	}
+}
+
+func BenchmarkAblationOpcodeSets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.AblationOpcodeSets()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("paper extension set", "energy saved"), "pct-energy-paperset")
+	}
+}
+
+func BenchmarkAblationAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := benchSuite.AblationAnalysis()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rep.MustValue("full (proposed VRP)", "64-bit share"), "pct-64bit-full")
+	}
+}
+
+// --- Substrate micro-benchmarks -----------------------------------------
+
+func BenchmarkVRPAnalyze(b *testing.B) {
+	w, _ := workload.ByName("gcc")
+	p, _ := w.Build(workload.Ref)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vrp.Analyze(p, vrp.Options{Mode: vrp.Useful}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVRSSpecialize(b *testing.B) {
+	w, _ := workload.ByName("m88ksim")
+	trainP, _ := w.Build(workload.Train)
+	refP, _ := w.Build(workload.Ref)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vrs.Specialize(trainP, refP, vrs.Options{Threshold: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmulator(b *testing.B) {
+	w, _ := workload.ByName("compress")
+	p, _ := w.Build(workload.Train)
+	res, _ := emu.Execute(p)
+	b.SetBytes(res.Dyn) // report emulated instructions as throughput
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emu.Execute(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUarchSim(b *testing.B) {
+	w, _ := workload.ByName("compress")
+	p, _ := w.Build(workload.Train)
+	cfg := uarch.DefaultConfig()
+	params := power.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uarch.Run(p, cfg, params, power.GateSoftware); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command ogbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ogbench -experiment all            # everything (the default)
+//	ogbench -experiment fig8           # one experiment
+//	ogbench -quick                     # evaluate on train inputs (faster)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opgate/internal/harness"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "table1|table2|table3|fig2..fig15|ablation-opcodes|ablation-analysis|all")
+	quick := flag.Bool("quick", false, "evaluate on train inputs (faster)")
+	threshold := flag.Float64("threshold", 50, "VRS specialization threshold (nJ)")
+	flag.Parse()
+
+	s := harness.NewSuite(*quick)
+	if err := run(s, *experiment, *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "ogbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(s *harness.Suite, experiment string, th float64) error {
+	type exp struct {
+		id string
+		fn func() error
+	}
+	show := func(r *harness.Report, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return nil
+	}
+	exps := []exp{
+		{"table1", func() error { fmt.Println(s.Table1().Format()); return nil }},
+		{"table2", func() error { fmt.Println(s.Table2()); return nil }},
+		{"table3", func() error { return show(s.Table3()) }},
+		{"fig2", func() error { return show(s.Figure2()) }},
+		{"fig3", func() error { return show(s.Figure3()) }},
+		{"fig4", func() error { return show(s.Figure4(th)) }},
+		{"fig5", func() error { return show(s.Figure5(th)) }},
+		{"fig6", func() error { return show(s.Figure6(th)) }},
+		{"fig7", func() error { return show(s.Figure7(th)) }},
+		{"fig8", func() error { return show(s.Figure8()) }},
+		{"fig9", func() error { return show(s.Figure9()) }},
+		{"fig10", func() error { return show(s.Figure10()) }},
+		{"fig11", func() error { return show(s.Figure11()) }},
+		{"fig12", func() error { return show(s.Figure12()) }},
+		{"fig13", func() error { return show(s.Figure13()) }},
+		{"fig14", func() error { return show(s.Figure14()) }},
+		{"fig15", func() error { return show(s.Figure15(th)) }},
+		{"ablation-opcodes", func() error { return show(s.AblationOpcodeSets()) }},
+		{"ablation-analysis", func() error { return show(s.AblationAnalysis()) }},
+	}
+	if experiment == "all" {
+		for _, e := range exps {
+			if err := e.fn(); err != nil {
+				return fmt.Errorf("%s: %w", e.id, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range exps {
+		if e.id == experiment {
+			return e.fn()
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", experiment)
+}

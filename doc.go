@@ -1,0 +1,13 @@
+// Package opgate is a Go reproduction of "Software-Controlled
+// Operand-Gating" (Canal, González, Smith — CGO 2004): a binary-level
+// value range propagation and profile-guided value range specialization
+// pipeline that re-encodes programs with narrow opcodes so the processor
+// can gate off unused datapath bytes, evaluated on an out-of-order timing
+// model with a Wattch-style operand-gated power model.
+//
+// The implementation lives under internal/: see internal/core for the
+// library facade, internal/harness for the per-table/figure experiment
+// drivers, and DESIGN.md for the full system inventory. The root package
+// exists to host the repository-level benchmark harness (bench_test.go),
+// which regenerates every table and figure of the paper's evaluation.
+package opgate

@@ -1,0 +1,60 @@
+// Hwsw: the cooperative hardware/software comparison of §4.6–4.7 on the
+// whole suite — software opcode gating (after VRP), the two hardware
+// compression schemes, and the combined mode where compiler widths and
+// dynamic tags gate together.
+//
+//	go run ./examples/hwsw
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opgate/internal/core"
+	"opgate/internal/power"
+	"opgate/internal/workload"
+)
+
+func main() {
+	modes := []struct {
+		label  string
+		gating power.GatingMode
+		useVRP bool
+	}{
+		{"software (VRP)", power.GateSoftware, true},
+		{"hw size", power.GateHWSize, false},
+		{"hw significance", power.GateHWSignificance, false},
+		{"cooperative", power.GateCooperativeSig, true},
+	}
+
+	fmt.Printf("%-10s", "benchmark")
+	for _, m := range modes {
+		fmt.Printf("%18s", m.label)
+	}
+	fmt.Println()
+
+	for _, w := range workload.All() {
+		p, err := w.Build(workload.Ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt, err := core.Optimize(p, core.OptimizeOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s", w.Name)
+		for _, m := range modes {
+			target := p
+			if m.useVRP {
+				target = opt.Program
+			}
+			_, ed2, err := core.CompareGating(target, m.gating)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%17.1f%%", 100*ed2)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(values are energy-delay^2 savings vs the ungated baseline)")
+}

@@ -1,0 +1,50 @@
+// Imagepipeline: the ijpeg-style scenario from the paper's motivation —
+// byte-sized pixels flowing through integer transforms. The example builds
+// the ijpeg kernel, compares conventional against useful (proposed) value
+// range propagation, and shows where the "useful bits" analysis wins:
+// chains feeding masked stores need only the masked bytes.
+//
+//	go run ./examples/imagepipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opgate/internal/core"
+	"opgate/internal/power"
+	"opgate/internal/workload"
+)
+
+func main() {
+	w, err := workload.ByName("ijpeg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := w.Build(workload.Ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	conv, err := core.Optimize(p, core.OptimizeOptions{Conventional: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	useful, err := core.Optimize(p, core.OptimizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("conventional VRP:", conv.Summary())
+	fmt.Println("proposed VRP:    ", useful.Summary())
+
+	for label, prog := range map[string]*core.Optimized{
+		"conventional": conv, "proposed": useful,
+	} {
+		energy, ed2, err := core.CompareGating(prog.Program, power.GateSoftware)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s gating: %.1f%% energy, %.1f%% ED^2 saved\n",
+			label, 100*energy, 100*ed2)
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a small program with the assembler, run the binary
+// optimizer (value range propagation), and inspect the width assignment.
+//
+// The kernel is the paper's Figure 1 example: for (i=0; i<100; i++) a[i]=i.
+// VRP's loop trip-count analysis bounds the iterator at [0,100], so the
+// increment, the scaled index arithmetic and the compare all fit narrow
+// opcodes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opgate/internal/core"
+	"opgate/internal/power"
+)
+
+const src = `
+.data
+vec: .space 800
+.text
+.func main
+	lda r1, 0(rz)       ; i = 0
+loop:
+	mul r3, r1, #8      ; scale to a word index
+	lda r2, =vec
+	add r2, r2, r3
+	st.q r1, 0(r2)      ; a[i] = i
+	add r1, r1, #1
+	cmplt r4, r1, #100
+	bne r4, loop
+	halt
+`
+
+func main() {
+	p, err := core.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt, err := core.Optimize(p, core.OptimizeOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after VRP:", opt.Summary())
+	fmt.Println(core.Disassemble(opt.Program))
+
+	energy, ed2, err := core.CompareGating(opt.Program, power.GateSoftware)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("operand gating saves %.1f%% energy, %.1f%% energy-delay^2\n",
+		100*energy, 100*ed2)
+}

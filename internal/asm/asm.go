@@ -1,0 +1,362 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// Assemble parses OG64 textual assembly into a Program.
+//
+// Syntax (one statement per line; ';' or '#' start comments):
+//
+//	.data                      switch to data segment
+//	sym: .space N              reserve N zero bytes
+//	sym: .byte 1, 2, 3         initialised bytes
+//	sym: .word 100, -7         initialised 64-bit words
+//	.text                      switch to code segment
+//	.func name                 begin function "name"
+//	label:                     code label
+//	add.w r1, r2, r3           register ALU op (width suffix optional, default q)
+//	add.b r1, r2, #42          immediate ALU op
+//	lda r1, 8(r2)              address arithmetic
+//	lda r1, =sym               load address of data symbol
+//	ld.b r1, 0(r2)             load (widths b/h/w/q)
+//	st.w r3, 4(r2)             store
+//	mskl.h r1, r2              keep low 2 bytes
+//	sext.b r1, r2              sign-extend low byte
+//	beq r1, label              conditional branch
+//	br label                   unconditional branch
+//	jsr func                   call (links r26)
+//	ret                        return through r26
+//	out.w r1                   emit output
+//	halt                       stop
+func Assemble(src string) (*prog.Program, error) {
+	b := NewBuilder()
+	inData := false
+	sawFunc := false
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		// ';' starts a comment ('#' marks immediates, so it cannot).
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s", ln+1, fmt.Sprintf(format, args...))
+		}
+
+		// Labels (possibly followed by a directive/instruction).
+		var label string
+		if i := strings.Index(line, ":"); i >= 0 && !strings.ContainsAny(line[:i], " \t") {
+			label = line[:i]
+			line = strings.TrimSpace(line[i+1:])
+		}
+
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".data":
+				inData = true
+			case ".text":
+				inData = false
+			case ".func":
+				if len(fields) != 2 {
+					return nil, fail(".func needs a name")
+				}
+				b.Func(fields[1])
+				sawFunc = true
+			case ".space":
+				if !inData {
+					return nil, fail(".space outside .data")
+				}
+				n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".space")))
+				if err != nil {
+					return nil, fail("bad .space size: %v", err)
+				}
+				b.Space(label, n)
+				label = ""
+			case ".byte", ".word":
+				if !inData {
+					return nil, fail("%s outside .data", fields[0])
+				}
+				args := strings.TrimSpace(line[len(fields[0]):])
+				var vals []int64
+				for _, s := range strings.Split(args, ",") {
+					v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+					if err != nil {
+						return nil, fail("bad value %q: %v", s, err)
+					}
+					vals = append(vals, v)
+				}
+				if fields[0] == ".byte" {
+					bs := make([]byte, len(vals))
+					for i, v := range vals {
+						bs[i] = byte(v)
+					}
+					b.Bytes(label, bs)
+				} else {
+					b.Words(label, vals)
+				}
+				label = ""
+			default:
+				return nil, fail("unknown directive %s", fields[0])
+			}
+			if label != "" && inData {
+				return nil, fail("data label %q without allocation", label)
+			}
+			if label != "" {
+				b.Label(label)
+			}
+			continue
+		}
+
+		if label != "" {
+			if inData {
+				return nil, fail("data label %q without directive", label)
+			}
+			b.Label(label)
+		}
+		if line == "" {
+			continue
+		}
+		if inData {
+			return nil, fail("instruction in .data segment")
+		}
+		if !sawFunc {
+			// Implicit main function for bare programs.
+			b.Func("main")
+			sawFunc = true
+		}
+		if err := parseIns(b, line); err != nil {
+			return nil, fail("%v", err)
+		}
+	}
+	return b.Build()
+}
+
+// parseIns parses one instruction statement into the builder.
+func parseIns(b *Builder, line string) error {
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	base := mnemonic
+	width := isa.W64
+	if i := strings.Index(mnemonic, "."); i >= 0 {
+		base = mnemonic[:i]
+		w, ok := isa.ParseWidth(mnemonic[i+1:])
+		if !ok {
+			return fmt.Errorf("bad width suffix in %q", mnemonic)
+		}
+		width = w
+	}
+	op, ok := isa.ParseOp(base)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", base)
+	}
+
+	args := splitArgs(rest)
+	switch op {
+	case isa.OpHALT:
+		b.Halt()
+		return nil
+	case isa.OpRET:
+		b.Ret()
+		return nil
+	case isa.OpBR:
+		if len(args) != 1 {
+			return fmt.Errorf("br needs a label")
+		}
+		b.Branch(args[0])
+		return nil
+	case isa.OpJSR:
+		if len(args) != 1 {
+			return fmt.Errorf("jsr needs a label")
+		}
+		b.Call(args[0])
+		return nil
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBGT, isa.OpBLE:
+		if len(args) != 2 {
+			return fmt.Errorf("%s needs reg, label", base)
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.CondBranch(op, r, args[1])
+		return nil
+	case isa.OpOUT:
+		if len(args) != 1 {
+			return fmt.Errorf("out needs a register")
+		}
+		r, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		b.Out(width, r)
+		return nil
+	case isa.OpLDA:
+		if len(args) != 2 {
+			return fmt.Errorf("lda needs rd, imm(ra) or rd, =sym")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(args[1], "=") {
+			b.LoadAddr(rd, args[1][1:])
+			return b.Err()
+		}
+		off, ra, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		b.Lda(rd, ra, off)
+		return nil
+	case isa.OpLD:
+		if len(args) != 2 {
+			return fmt.Errorf("ld needs rd, off(ra)")
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, ra, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		b.Load(width, rd, ra, off)
+		return nil
+	case isa.OpST:
+		if len(args) != 2 {
+			return fmt.Errorf("st needs rb, off(ra)")
+		}
+		rb, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, ra, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		b.Store(width, rb, ra, off)
+		return nil
+	case isa.OpMSKL, isa.OpSEXT:
+		if len(args) != 2 {
+			return fmt.Errorf("%s needs rd, ra", base)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		ra, err := parseReg(args[1])
+		if err != nil {
+			return err
+		}
+		b.Emit(isa.Instruction{Op: op, Width: width, Rd: rd, Ra: ra})
+		return nil
+	}
+
+	// Generic three-operand form: rd, ra, rb|#imm.
+	if len(args) != 3 {
+		return fmt.Errorf("%s needs rd, ra, rb|#imm", base)
+	}
+	rd, err := parseReg(args[0])
+	if err != nil {
+		return err
+	}
+	ra, err := parseReg(args[1])
+	if err != nil {
+		return err
+	}
+	if strings.HasPrefix(args[2], "#") {
+		imm, err := strconv.ParseInt(args[2][1:], 0, 64)
+		if err != nil {
+			return fmt.Errorf("bad immediate %q: %v", args[2], err)
+		}
+		b.OpI(op, width, rd, ra, imm)
+		return nil
+	}
+	rb, err := parseReg(args[2])
+	if err != nil {
+		return err
+	}
+	b.Op3(op, width, rd, ra, rb)
+	return nil
+}
+
+func splitArgs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	if s == "rz" {
+		return isa.ZeroReg, nil
+	}
+	switch s {
+	case "sp":
+		return prog.RegSP, nil
+	case "ra":
+		return prog.RegLink, nil
+	case "rv":
+		return prog.RegRet, nil
+	}
+	if strings.HasPrefix(s, "a") {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n < prog.NumArgRegs {
+			return prog.RegArg0 + isa.Reg(n), nil
+		}
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+// parseMem parses "off(reg)" or "(reg)" or "off".
+func parseMem(s string) (int64, isa.Reg, error) {
+	open := strings.Index(s, "(")
+	if open < 0 {
+		off, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad address %q", s)
+		}
+		return off, isa.ZeroReg, nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad address %q", s)
+	}
+	var off int64
+	if open > 0 {
+		v, err := strconv.ParseInt(s[:open], 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad offset in %q", s)
+		}
+		off = v
+	}
+	r, err := parseReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, r, nil
+}

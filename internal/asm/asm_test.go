@@ -1,0 +1,202 @@
+package asm_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"opgate/internal/asm"
+	"opgate/internal/emu"
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	p, err := asm.Assemble(`
+.data
+tab: .word 1, 2, 3
+msg: .byte 104, 105
+buf: .space 16
+.text
+.func main
+	lda r1, =tab
+	ld.q r2, 8(r1)     ; 2
+	out.b r2
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 3*8+2+16 {
+		t.Errorf("data segment %d bytes", len(p.Data))
+	}
+	res, err := emu.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 2 {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		".func main\nbogus r1, r2, r3\nhalt\n",    // unknown mnemonic
+		".func main\nadd r1, r2\nhalt\n",          // missing operand
+		".func main\nbr nowhere\nhalt\n",          // undefined label
+		".func main\nadd.z r1, r2, r3\nhalt\n",    // bad width
+		".func main\nadd r99, r2, r3\nhalt\n",     // bad register
+		".func main\nx: lda r1, 0(rz)\nx: halt\n", // duplicate label
+		".data\noops: .space -\n",                 // bad directive arg
+	}
+	for _, src := range cases {
+		if _, err := asm.Assemble(src); err == nil {
+			t.Errorf("accepted bad program:\n%s", src)
+		}
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	p, err := asm.Assemble(`
+.func main
+	lda a0, 7(rz)
+	jsr f
+	out.b rv
+	halt
+.func f
+	add rv, a0, #1
+	ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emu.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 8 {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestCommentsDoNotEatImmediates(t *testing.T) {
+	p, err := asm.Assemble(".func main\nadd r1, rz, #35 ; a comment\nout.b r1\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := emu.Execute(p)
+	if res.Output[0] != 35 {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+// TestDisassembleRoundTrip: disassembling and re-assembling a program
+// yields identical behaviour.
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+.func main
+	lda r1, 0(rz)
+loop:
+	add r2, r2, r1
+	and.w r2, r2, #4095
+	add r1, r1, #1
+	cmplt r3, r1, #33
+	bne r3, loop
+	out.w r2
+	halt
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := asm.Disassemble(p)
+	q, err := asm.Assemble(text)
+	if err != nil {
+		t.Fatalf("reassemble failed: %v\n%s", err, text)
+	}
+	if err := emu.CheckEquivalence(p, q); err != nil {
+		t.Fatalf("roundtrip diverged: %v", err)
+	}
+}
+
+// TestBuilderLoadImm: arbitrary 64-bit constants materialise correctly.
+func TestBuilderLoadImm(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	values := []int64{0, 1, -1, 127, -128, 1 << 31, -(1 << 31), 1<<62 + 12345, -(1 << 62), 0x7FFFFFFFFFFFFFFF}
+	for i := 0; i < 30; i++ {
+		values = append(values, int64(r.Uint64()))
+	}
+	for _, v := range values {
+		b := asm.NewBuilder()
+		b.Func("main")
+		b.LoadImm(1, v)
+		b.Out(isa.W64, 1)
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("build for %d: %v", v, err)
+		}
+		res, err := emu.Execute(p)
+		if err != nil {
+			t.Fatalf("run for %d: %v", v, err)
+		}
+		var got int64
+		for k := 7; k >= 0; k-- {
+			got = got<<8 | int64(res.Output[k])
+		}
+		if got != v {
+			t.Fatalf("LoadImm(%d) produced %d", v, got)
+		}
+	}
+}
+
+func TestBuilderDuplicateDataSymbol(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Space("x", 8)
+	b.Space("x", 8)
+	b.Func("main")
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate data symbol accepted")
+	}
+}
+
+func TestBuilderGPRelativeAddressing(t *testing.T) {
+	b := asm.NewBuilder()
+	addr := b.Words("w", []int64{77})
+	b.Func("main")
+	b.LoadAddr(1, "w")
+	b.Load(isa.W64, 2, 1, 0)
+	b.Out(isa.W8, 2)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr < asm.DefaultDataBase {
+		t.Errorf("symbol below data base")
+	}
+	// The emitted LDA must be GP-relative (its immediate fits 32 bits
+	// even though the address exceeds 2^32).
+	if p.Ins[p.Funcs[0].Start].Ra != prog.RegGP {
+		t.Error("LoadAddr did not use the global pointer")
+	}
+	res, err := emu.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 77 {
+		t.Errorf("output = %v", res.Output)
+	}
+}
+
+func TestDisassembleContainsLabels(t *testing.T) {
+	p, _ := asm.Assemble(".func main\nx:\nadd r1, r1, #1\nbne r1, x\nhalt\n")
+	text := asm.Disassemble(p)
+	if !strings.Contains(text, ".func main") {
+		t.Error("missing function directive")
+	}
+	if !strings.Contains(text, "bne r1,") {
+		t.Error("missing branch")
+	}
+}

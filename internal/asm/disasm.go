@@ -1,0 +1,73 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// Disassemble renders the program as readable assembly with synthesised
+// labels at branch targets. The output round-trips through Assemble for
+// programs whose data segment is empty (data initialisation is emitted as
+// directives but symbol names are lost).
+func Disassemble(p *prog.Program) string {
+	var sb strings.Builder
+
+	// Invert labels for nicer output.
+	names := make(map[int][]string)
+	for name, idx := range p.Labels {
+		names[idx] = append(names[idx], name)
+	}
+	for idx := range names {
+		sort.Strings(names[idx])
+	}
+
+	// Synthesise labels for anonymous branch targets.
+	targets := make(map[int]string)
+	for i := range p.Ins {
+		in := &p.Ins[i]
+		if !isa.IsBranch(in.Op) || in.Op == isa.OpRET {
+			continue
+		}
+		t := in.Target
+		if len(names[t]) > 0 {
+			targets[t] = names[t][0]
+		} else if _, ok := targets[t]; !ok {
+			targets[t] = fmt.Sprintf("L%d", t)
+		}
+	}
+
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&sb, ".func %s\n", f.Name)
+		for i := f.Start; i < f.End; i++ {
+			if lbl, ok := targets[i]; ok && lbl != f.Name {
+				fmt.Fprintf(&sb, "%s:\n", lbl)
+			}
+			in := p.Ins[i]
+			fmt.Fprintf(&sb, "\t%s\n", formatIns(&in, targets))
+		}
+	}
+	return sb.String()
+}
+
+// formatIns prints one instruction, substituting label names for targets.
+func formatIns(in *isa.Instruction, targets map[int]string) string {
+	if isa.IsBranch(in.Op) && in.Op != isa.OpRET {
+		lbl := targets[in.Target]
+		if lbl == "" {
+			lbl = fmt.Sprintf("@%d", in.Target)
+		}
+		switch in.Op {
+		case isa.OpBR:
+			return fmt.Sprintf("br %s", lbl)
+		case isa.OpJSR:
+			return fmt.Sprintf("jsr %s", lbl)
+		default:
+			return fmt.Sprintf("%s %s, %s", in.Op, in.Ra, lbl)
+		}
+	}
+	return in.String()
+}

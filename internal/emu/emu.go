@@ -1,0 +1,339 @@
+// Package emu executes OG64 programs functionally. It is the architectural
+// reference model: the binary optimizer's equivalence checks, the value and
+// basic-block profilers, and the trace-driven timing model (internal/uarch)
+// all consume its retirement stream.
+package emu
+
+import (
+	"fmt"
+
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// DefaultFuel bounds execution length; workloads finish well below it.
+const DefaultFuel = 200_000_000
+
+// Event describes one retired instruction for trace consumers.
+type Event struct {
+	Idx   int              // static instruction index
+	Ins   *isa.Instruction // the instruction (points into the program)
+	Next  int              // index of the next instruction to execute
+	Taken bool             // branch outcome (conditional branches)
+	Addr  int64            // effective address (loads/stores)
+	Value int64            // result value (dest write, store data, or out)
+	SrcA  int64            // value of first source operand
+	SrcB  int64            // value of second source operand / store data
+}
+
+// Machine is one execution context over a program.
+type Machine struct {
+	P      *prog.Program
+	Regs   [isa.NumRegs]int64
+	Mem    []byte
+	PC     int
+	Halted bool
+	Output []byte
+
+	// Fuel is the remaining dynamic instruction budget.
+	Fuel int64
+	// Dyn is the number of retired instructions.
+	Dyn int64
+	// InsCount[i] counts executions of static instruction i (the paper's
+	// InstCount(D)). Allocated lazily by EnableCounts.
+	InsCount []int64
+
+	// Trace receives every retired instruction when non-nil.
+	Trace func(Event)
+}
+
+// New creates a machine with the program's initial memory image.
+func New(p *prog.Program) *Machine {
+	m := &Machine{P: p, Fuel: DefaultFuel}
+	m.Reset()
+	return m
+}
+
+// Reset restores the initial architectural state. Data memory is a flat
+// array backing the virtual range [DataBase, DataBase+MemSize); keeping the
+// base above 2^32 makes addresses realistic 5-byte values (Fig. 12) while
+// the array stays small. The global pointer is pinned to DataBase and the
+// stack pointer starts at the top of memory.
+func (m *Machine) Reset() {
+	m.Mem = make([]byte, m.P.MemSize)
+	copy(m.Mem, m.P.Data)
+	m.Regs = [isa.NumRegs]int64{}
+	m.Regs[prog.RegGP] = m.P.DataBase
+	m.Regs[prog.RegSP] = m.P.DataBase + m.P.MemSize
+	entry := m.P.Funcs[m.P.Entry]
+	m.PC = entry.Start
+	m.Halted = false
+	m.Output = m.Output[:0]
+	m.Dyn = 0
+	if m.InsCount != nil {
+		m.InsCount = make([]int64, len(m.P.Ins))
+	}
+}
+
+// EnableCounts switches on per-static-instruction execution counting.
+func (m *Machine) EnableCounts() { m.InsCount = make([]int64, len(m.P.Ins)) }
+
+// Run executes until HALT, RET from the entry function, or fuel
+// exhaustion; it returns an error on traps (bad memory, bad PC, fuel).
+func (m *Machine) Run() error {
+	for !m.Halted {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func signExtend(v int64, w isa.Width) int64 {
+	shift := uint(64 - w.Bits())
+	return v << shift >> shift
+}
+
+func zeroExtend(v int64, w isa.Width) int64 {
+	if w == isa.W64 {
+		return v
+	}
+	mask := int64(1)<<uint(w.Bits()) - 1
+	return v & mask
+}
+
+// Step executes one instruction.
+func (m *Machine) Step() error {
+	if m.Halted {
+		return nil
+	}
+	if m.Fuel <= 0 {
+		return fmt.Errorf("emu: out of fuel at pc %d (infinite loop?)", m.PC)
+	}
+	m.Fuel--
+	if m.PC < 0 || m.PC >= len(m.P.Ins) {
+		return fmt.Errorf("emu: pc %d outside program", m.PC)
+	}
+	idx := m.PC
+	in := &m.P.Ins[idx]
+	m.Dyn++
+	if m.InsCount != nil {
+		m.InsCount[idx]++
+	}
+
+	ev := Event{Idx: idx, Ins: in, Next: idx + 1}
+	ra := m.Regs[in.Ra]
+	rb := in.Imm
+	if !in.HasImm {
+		rb = m.Regs[in.Rb]
+	}
+	ev.SrcA, ev.SrcB = ra, rb
+
+	write := func(v int64) {
+		ev.Value = v
+		if in.Rd != isa.ZeroReg {
+			m.Regs[in.Rd] = v
+		}
+	}
+
+	switch in.Op {
+	case isa.OpLDA:
+		// LDA carries a width like the other add-class ops, so that an
+		// unsoundly narrowed constant/address materialisation is
+		// observable in equivalence tests.
+		write(signExtend(ra+in.Imm, in.Width))
+
+	case isa.OpLD:
+		addr := ra + in.Imm
+		v, err := m.load(addr, in.Width)
+		if err != nil {
+			return fmt.Errorf("emu: pc %d: %w", idx, err)
+		}
+		ev.Addr = addr
+		write(v)
+
+	case isa.OpST:
+		addr := ra + in.Imm
+		data := m.Regs[in.Rb]
+		if err := m.store(addr, data, in.Width); err != nil {
+			return fmt.Errorf("emu: pc %d: %w", idx, err)
+		}
+		ev.Addr = addr
+		ev.Value = zeroExtend(data, in.Width)
+		ev.SrcB = data
+
+	case isa.OpADD:
+		write(signExtend(ra+rb, in.Width))
+	case isa.OpSUB:
+		write(signExtend(ra-rb, in.Width))
+	case isa.OpMUL:
+		write(signExtend(ra*rb, in.Width))
+	case isa.OpAND:
+		write(signExtend(ra&rb, in.Width))
+	case isa.OpOR:
+		write(signExtend(ra|rb, in.Width))
+	case isa.OpXOR:
+		write(signExtend(ra^rb, in.Width))
+	case isa.OpBIC:
+		write(signExtend(ra&^rb, in.Width))
+	case isa.OpSLL:
+		write(signExtend(ra<<uint(rb&63), in.Width))
+	case isa.OpSRL:
+		write(signExtend(int64(uint64(ra)>>uint(rb&63)), in.Width))
+	case isa.OpSRA:
+		write(signExtend(ra>>uint(rb&63), in.Width))
+
+	case isa.OpMSKL:
+		write(zeroExtend(ra, in.Width))
+	case isa.OpEXTB:
+		write((ra >> uint(8*(rb&7))) & 0xFF)
+	case isa.OpSEXT:
+		write(signExtend(ra, in.Width))
+
+	case isa.OpCMPEQ:
+		write(b2i(cmpOperand(ra, in.Width) == cmpOperand(rb, in.Width)))
+	case isa.OpCMPLT:
+		write(b2i(cmpOperand(ra, in.Width) < cmpOperand(rb, in.Width)))
+	case isa.OpCMPLE:
+		write(b2i(cmpOperand(ra, in.Width) <= cmpOperand(rb, in.Width)))
+	case isa.OpCMPULT:
+		write(b2i(uint64(cmpOperand(ra, in.Width)) < uint64(cmpOperand(rb, in.Width))))
+	case isa.OpCMPULE:
+		write(b2i(uint64(cmpOperand(ra, in.Width)) <= uint64(cmpOperand(rb, in.Width))))
+
+	case isa.OpCMOVEQ, isa.OpCMOVNE, isa.OpCMOVLT, isa.OpCMOVGE:
+		cond := false
+		switch in.Op {
+		case isa.OpCMOVEQ:
+			cond = ra == 0
+		case isa.OpCMOVNE:
+			cond = ra != 0
+		case isa.OpCMOVLT:
+			cond = ra < 0
+		case isa.OpCMOVGE:
+			cond = ra >= 0
+		}
+		if cond {
+			write(signExtend(rb, in.Width))
+		} else {
+			ev.Value = m.Regs[in.Rd]
+		}
+
+	case isa.OpBR:
+		ev.Next = in.Target
+		ev.Taken = true
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBGT, isa.OpBLE:
+		taken := false
+		switch in.Op {
+		case isa.OpBEQ:
+			taken = ra == 0
+		case isa.OpBNE:
+			taken = ra != 0
+		case isa.OpBLT:
+			taken = ra < 0
+		case isa.OpBGE:
+			taken = ra >= 0
+		case isa.OpBGT:
+			taken = ra > 0
+		case isa.OpBLE:
+			taken = ra <= 0
+		}
+		if taken {
+			ev.Next = in.Target
+		}
+		ev.Taken = taken
+	case isa.OpJSR:
+		write(int64(idx + 1))
+		ev.Next = in.Target
+		ev.Taken = true
+	case isa.OpRET:
+		ev.Next = int(ra)
+		ev.Taken = true
+	case isa.OpHALT:
+		m.Halted = true
+		ev.Next = idx
+	case isa.OpOUT:
+		v := zeroExtend(ra, in.Width)
+		for i := 0; i < in.Width.Bytes(); i++ {
+			m.Output = append(m.Output, byte(uint64(v)>>(8*uint(i))))
+		}
+		ev.Value = v
+
+	default:
+		return fmt.Errorf("emu: pc %d: unimplemented opcode %v", idx, in.Op)
+	}
+
+	if m.Trace != nil {
+		m.Trace(ev)
+	}
+	m.PC = ev.Next
+	return nil
+}
+
+// cmpOperand narrows a comparison operand to the opcode width. VRP only
+// assigns a narrow compare when both operand ranges fit the width, so
+// narrowing is semantics-preserving for analysed programs while making
+// unsound width assignments observable in tests.
+func cmpOperand(v int64, w isa.Width) int64 { return signExtend(v, w) }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *Machine) load(addr int64, w isa.Width) (int64, error) {
+	n := int64(w.Bytes())
+	off := addr - m.P.DataBase
+	if off < 0 || off+n > int64(len(m.Mem)) {
+		return 0, fmt.Errorf("load of %d bytes at %#x out of bounds", n, addr)
+	}
+	var v uint64
+	for i := int64(0); i < n; i++ {
+		v |= uint64(m.Mem[off+i]) << (8 * uint(i))
+	}
+	switch w {
+	case isa.W8, isa.W16:
+		return int64(v), nil // zero-extended, like Alpha LDBU/LDWU
+	case isa.W32:
+		return int64(int32(uint32(v))), nil // sign-extended, like Alpha LDL
+	default:
+		return int64(v), nil
+	}
+}
+
+func (m *Machine) store(addr, v int64, w isa.Width) error {
+	n := int64(w.Bytes())
+	off := addr - m.P.DataBase
+	if off < 0 || off+n > int64(len(m.Mem)) {
+		return fmt.Errorf("store of %d bytes at %#x out of bounds", n, addr)
+	}
+	for i := int64(0); i < n; i++ {
+		m.Mem[off+i] = byte(uint64(v) >> (8 * uint(i)))
+	}
+	return nil
+}
+
+// LoadBytes copies out a memory region by virtual address (for tests and
+// result checking).
+func (m *Machine) LoadBytes(addr, n int64) ([]byte, error) {
+	off := addr - m.P.DataBase
+	if off < 0 || off+n > int64(len(m.Mem)) {
+		return nil, fmt.Errorf("emu: read of %d bytes at %#x out of bounds", n, addr)
+	}
+	out := make([]byte, n)
+	copy(out, m.Mem[off:off+n])
+	return out, nil
+}
+
+// StoreBytes pokes a memory region by virtual address before a run
+// (workload inputs).
+func (m *Machine) StoreBytes(addr int64, data []byte) error {
+	off := addr - m.P.DataBase
+	if off < 0 || off+int64(len(data)) > int64(len(m.Mem)) {
+		return fmt.Errorf("emu: write of %d bytes at %#x out of bounds", len(data), addr)
+	}
+	copy(m.Mem[off:], data)
+	return nil
+}

@@ -1,0 +1,186 @@
+package emu
+
+import (
+	"sort"
+)
+
+// TNVTable is the fixed-size top-N-values profiling table of Calder et al.
+// (the scheme §3.3 adopts): each profiled value is looked up; hits bump a
+// counter; misses insert when space remains, otherwise the value is
+// dropped. Periodically the least-frequently-used half is evicted so new
+// hot values can enter. A separate counter tracks every profile event.
+type TNVTable struct {
+	Capacity   int
+	Interval   int // events between cleanings
+	Total      int64
+	entries    map[int64]int64
+	sinceClean int
+
+	// Width histogram: counts and extreme values per significant-byte
+	// size (index 1..8). The TNV entries capture frequent single values;
+	// the width buckets capture diffuse distributions (e.g. counters)
+	// exactly, which is what range specialization needs.
+	widthCount [9]int64
+	widthMin   [9]int64
+	widthMax   [9]int64
+}
+
+// NewTNVTable returns a table with the given capacity and cleaning
+// interval (the paper does not give exact sizes; 32 entries cleaned every
+// 2048 events behaves like the published scheme).
+func NewTNVTable(capacity, interval int) *TNVTable {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	if interval <= 0 {
+		interval = 2048
+	}
+	return &TNVTable{
+		Capacity: capacity,
+		Interval: interval,
+		entries:  make(map[int64]int64, capacity),
+	}
+}
+
+// Record profiles one value occurrence.
+func (t *TNVTable) Record(v int64) {
+	t.Total++
+	t.sinceClean++
+	if c, ok := t.entries[v]; ok {
+		t.entries[v] = c + 1
+	} else if len(t.entries) < t.Capacity {
+		t.entries[v] = 1
+	}
+	w := significantBytes(v)
+	if t.widthCount[w] == 0 || v < t.widthMin[w] {
+		t.widthMin[w] = v
+	}
+	if t.widthCount[w] == 0 || v > t.widthMax[w] {
+		t.widthMax[w] = v
+	}
+	t.widthCount[w]++
+	if t.sinceClean >= t.Interval {
+		t.clean()
+	}
+}
+
+// significantBytes mirrors power.SignificantBytes without the import.
+func significantBytes(v int64) int {
+	for k := 1; k < 8; k++ {
+		shift := uint(64 - 8*k)
+		if v<<shift>>shift == v {
+			return k
+		}
+	}
+	return 8
+}
+
+// clean evicts the least frequently used half of the table.
+func (t *TNVTable) clean() {
+	t.sinceClean = 0
+	if len(t.entries) < t.Capacity {
+		return
+	}
+	vals := t.Entries()
+	for i := len(vals) / 2; i < len(vals); i++ {
+		delete(t.entries, vals[i].Value)
+	}
+}
+
+// ValueCount is one profiled value with its observed frequency.
+type ValueCount struct {
+	Value int64
+	Count int64
+}
+
+// Entries returns the profiled values sorted by descending count (ties by
+// ascending value, for determinism).
+func (t *TNVTable) Entries() []ValueCount {
+	out := make([]ValueCount, 0, len(t.entries))
+	for v, c := range t.entries {
+		out = append(out, ValueCount{v, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// CoverageRange finds a small [min,max] covering at least frac of the
+// recorded events, and the exact frequency it covers. Two sources are
+// consulted: a dominant single value in the TNV table (single-value
+// specialization, min==max), else the width histogram — the smallest
+// significant-byte size whose cumulative frequency reaches frac, with the
+// exact extreme values seen at or below that size. ok is false when the
+// table saw nothing.
+func (t *TNVTable) CoverageRange(frac float64) (min, max int64, freq float64, ok bool) {
+	if t.Total == 0 {
+		return 0, 0, 0, false
+	}
+	// Single dominant value?
+	if entries := t.Entries(); len(entries) > 0 {
+		if f := float64(entries[0].Count) / float64(t.Total); f >= frac {
+			v := entries[0].Value
+			return v, v, f, true
+		}
+	}
+	// Width buckets, narrowest first.
+	var covered int64
+	first := true
+	for w := 1; w <= 8; w++ {
+		if t.widthCount[w] == 0 {
+			continue
+		}
+		covered += t.widthCount[w]
+		if first {
+			min, max = t.widthMin[w], t.widthMax[w]
+			first = false
+		} else {
+			if t.widthMin[w] < min {
+				min = t.widthMin[w]
+			}
+			if t.widthMax[w] > max {
+				max = t.widthMax[w]
+			}
+		}
+		if float64(covered) >= frac*float64(t.Total) {
+			break
+		}
+	}
+	if first {
+		return 0, 0, 0, false
+	}
+	return min, max, float64(covered) / float64(t.Total), true
+}
+
+// Profiler collects basic-block execution counts (via Machine.InsCount)
+// and per-instruction value profiles at selected points.
+type Profiler struct {
+	Points map[int]*TNVTable // instruction index -> value table
+}
+
+// NewProfiler builds a profiler over the given candidate points.
+func NewProfiler(points []int) *Profiler {
+	p := &Profiler{Points: make(map[int]*TNVTable, len(points))}
+	for _, idx := range points {
+		p.Points[idx] = NewTNVTable(0, 0)
+	}
+	return p
+}
+
+// Attach hooks the profiler into a machine's trace stream. Any previous
+// trace function is chained.
+func (p *Profiler) Attach(m *Machine) {
+	prev := m.Trace
+	m.Trace = func(ev Event) {
+		if t, ok := p.Points[ev.Idx]; ok {
+			t.Record(ev.Value)
+		}
+		if prev != nil {
+			prev(ev)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"opgate/internal/emu"
+	"opgate/internal/isa"
+	"opgate/internal/power"
+	"opgate/internal/prog"
+	"opgate/internal/uarch"
+	"opgate/internal/vrp"
+)
+
+// AblationOpcodeSets quantifies §4.3's design decision: how much of the
+// gating benefit depends on which narrow opcodes the ISA encodes. Three
+// points: the unextended base ISA (only memory and mask operations carry
+// widths), the paper's chosen extension set, and an idealised ISA with
+// every class encodable at every width.
+func (s *Suite) AblationOpcodeSets() (*Report, error) {
+	sets := []struct {
+		label string
+		set   *isa.OpcodeSet
+	}{
+		{"base ISA (no ALU widths)", isa.BaseOpcodeSet()},
+		{"paper extension set", isa.PaperOpcodeSet()},
+		{"ideal (all widths)", isa.FullOpcodeSet()},
+	}
+	rep := &Report{
+		ID:      "ablation-opcodes",
+		Title:   "Opcode-set ablation: energy savings and 64-bit share under VRP",
+		Columns: []string{"energy saved", "64-bit share"},
+		Percent: true,
+	}
+	for _, cfg := range sets {
+		var savedSum float64
+		var hist vrp.WidthHistogram
+		for _, name := range s.Names() {
+			p, err := s.Program(name, s.evalClass())
+			if err != nil {
+				return nil, err
+			}
+			r, err := vrp.Analyze(p, vrp.Options{Mode: vrp.Useful, Opcodes: cfg.set})
+			if err != nil {
+				return nil, err
+			}
+			q := r.Apply()
+			base, err := s.Baseline(name)
+			if err != nil {
+				return nil, err
+			}
+			g, err := uarch.Run(q, s.Uarch, s.Power, power.GateSoftware)
+			if err != nil {
+				return nil, err
+			}
+			_, total := power.Savings(base.Energy, g.Energy)
+			savedSum += total
+
+			h, err := dynHistogramOf(q)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < 4; i++ {
+				hist.Count[i] += h.Count[i]
+			}
+		}
+		rep.Rows = append(rep.Rows, Row{
+			Label:  cfg.label,
+			Values: []float64{savedSum / float64(len(s.Names())), hist.Fraction(3)},
+		})
+	}
+	rep.Note = "the paper's set should capture most of the ideal set's benefit (§4.3: few 16-bit ops, MUL not worth encoding)"
+	return rep, nil
+}
+
+// AblationAnalysis quantifies the contribution of the paper's analysis
+// machinery: useful ranges (§2.2.5), loop trip counts (§2.3) and branch
+// refinement (§2.2.4), measured as the 64-bit dynamic share when each is
+// removed.
+func (s *Suite) AblationAnalysis() (*Report, error) {
+	configs := []struct {
+		label string
+		opts  vrp.Options
+	}{
+		{"full (proposed VRP)", vrp.Options{Mode: vrp.Useful}},
+		{"no useful ranges", vrp.Options{Mode: vrp.Conventional}},
+		{"no loop analysis", vrp.Options{Mode: vrp.Useful, DisableLoopAnalysis: true}},
+		{"no branch refinement", vrp.Options{Mode: vrp.Useful, DisableBranchRefinement: true}},
+		{"ranges only (all off)", vrp.Options{Mode: vrp.Conventional,
+			DisableLoopAnalysis: true, DisableBranchRefinement: true}},
+	}
+	rep := &Report{
+		ID:      "ablation-analysis",
+		Title:   "Analysis ablation: dynamic 64-bit share",
+		Columns: []string{"64-bit share"},
+		Percent: true,
+	}
+	for _, cfg := range configs {
+		var hist vrp.WidthHistogram
+		for _, name := range s.Names() {
+			p, err := s.Program(name, s.evalClass())
+			if err != nil {
+				return nil, err
+			}
+			r, err := vrp.Analyze(p, cfg.opts)
+			if err != nil {
+				return nil, err
+			}
+			h, err := dynHistogramOf(r.Apply())
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < 4; i++ {
+				hist.Count[i] += h.Count[i]
+			}
+		}
+		rep.Rows = append(rep.Rows, Row{Label: cfg.label, Values: []float64{hist.Fraction(3)}})
+	}
+	return rep, nil
+}
+
+// dynHistogramOf runs a program and tallies retired width-bearing
+// instruction widths.
+func dynHistogramOf(p *prog.Program) (vrp.WidthHistogram, error) {
+	var h vrp.WidthHistogram
+	m := emu.New(p)
+	m.Trace = func(ev emu.Event) {
+		if vrp.CountsWidth(ev.Ins.Op) {
+			h.Add(ev.Ins.Width, 1)
+		}
+	}
+	if err := m.Run(); err != nil {
+		return h, err
+	}
+	return h, nil
+}

@@ -1,0 +1,308 @@
+package harness
+
+import (
+	"opgate/internal/power"
+)
+
+// perStructureSavings averages per-structure energy savings over the suite
+// for one (variant, mode) configuration.
+func (s *Suite) perStructureSavings(variant string, mode power.GatingMode) ([power.NumStructures]float64, float64, error) {
+	var sum [power.NumStructures]float64
+	var sumTotal float64
+	names := s.Names()
+	for _, name := range names {
+		base, err := s.Baseline(name)
+		if err != nil {
+			return sum, 0, err
+		}
+		g, err := s.Sim(name, variant, mode)
+		if err != nil {
+			return sum, 0, err
+		}
+		per, total := power.Savings(base.Energy, g.Energy)
+		for i := range per {
+			sum[i] += per[i]
+		}
+		sumTotal += total
+	}
+	n := float64(len(names))
+	for i := range sum {
+		sum[i] /= n
+	}
+	return sum, sumTotal / n, nil
+}
+
+// structureColumns is the x-axis of Figs. 3, 9 and 14.
+func structureColumns() []string {
+	cols := make([]string, 0, power.NumStructures+1)
+	for _, st := range power.Structures() {
+		cols = append(cols, st.String())
+	}
+	return append(cols, "Processor")
+}
+
+func structureRow(label string, per [power.NumStructures]float64, total float64) Row {
+	vals := make([]float64, 0, power.NumStructures+1)
+	for _, st := range power.Structures() {
+		vals = append(vals, per[st])
+	}
+	return Row{Label: label, Values: append(vals, total)}
+}
+
+// Figure3 reproduces the per-structure energy savings of VRP.
+func (s *Suite) Figure3() (*Report, error) {
+	per, total, err := s.perStructureSavings("vrp", power.GateSoftware)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		ID:      "fig3",
+		Title:   "Energy savings with VRP (per processor structure, suite average)",
+		Columns: structureColumns(),
+		Percent: true,
+	}
+	rep.Rows = append(rep.Rows, structureRow("VRP", per, total))
+	return rep, nil
+}
+
+// Figure8 reproduces the whole-processor energy savings per benchmark for
+// VRP and the five VRS cost configurations.
+func (s *Suite) Figure8() (*Report, error) {
+	rep := &Report{
+		ID:      "fig8",
+		Title:   "Energy savings per benchmark: VRP and VRS at each threshold",
+		Columns: []string{"VRP", "VRS 110nJ", "VRS 90nJ", "VRS 70nJ", "VRS 50nJ", "VRS 30nJ"},
+		Percent: true,
+	}
+	var avg []float64
+	for _, name := range s.Names() {
+		var vals []float64
+		v, err := s.EnergySaving(name, "vrp", power.GateSoftware)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		for _, th := range Thresholds {
+			v, err := s.EnergySaving(name, vrsVariant(th), power.GateSoftware)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		rep.Rows = append(rep.Rows, Row{Label: name, Values: vals})
+		if avg == nil {
+			avg = make([]float64, len(vals))
+		}
+		for i, v := range vals {
+			avg[i] += v
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(s.Names()))
+	}
+	rep.Rows = append(rep.Rows, Row{Label: "AVG", Values: avg})
+	return rep, nil
+}
+
+// Figure9 reproduces the per-structure energy benefits of VRP and VRS.
+func (s *Suite) Figure9() (*Report, error) {
+	rep := &Report{
+		ID:      "fig9",
+		Title:   "Energy benefits for the different parts of the processor",
+		Columns: structureColumns(),
+		Percent: true,
+	}
+	per, total, err := s.perStructureSavings("vrp", power.GateSoftware)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, structureRow("VRP", per, total))
+	for _, th := range Thresholds {
+		per, total, err := s.perStructureSavings(vrsVariant(th), power.GateSoftware)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, structureRow("VRS "+itoa(int(th))+"nJ", per, total))
+	}
+	return rep, nil
+}
+
+// Figure10 reproduces the execution-time savings of VRS (VRP does not
+// change timing: it only re-encodes opcodes).
+func (s *Suite) Figure10() (*Report, error) {
+	rep := &Report{
+		ID:      "fig10",
+		Title:   "Execution time savings (VRS variants vs baseline)",
+		Percent: true,
+	}
+	for _, th := range Thresholds {
+		rep.Columns = append(rep.Columns, "VRS "+itoa(int(th))+"nJ")
+	}
+	var avg []float64
+	for _, name := range s.Names() {
+		base, err := s.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		var vals []float64
+		for _, th := range Thresholds {
+			g, err := s.Sim(name, vrsVariant(th), power.GateSoftware)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, 1-float64(g.Cycles)/float64(base.Cycles))
+		}
+		rep.Rows = append(rep.Rows, Row{Label: name, Values: vals})
+		if avg == nil {
+			avg = make([]float64, len(vals))
+		}
+		for i, v := range vals {
+			avg[i] += v
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(s.Names()))
+	}
+	rep.Rows = append(rep.Rows, Row{Label: "AVG", Values: avg})
+	return rep, nil
+}
+
+// Figure11 reproduces the energy-delay² benefits per benchmark.
+func (s *Suite) Figure11() (*Report, error) {
+	rep := &Report{
+		ID:      "fig11",
+		Title:   "Energy-Delay^2 benefits",
+		Columns: []string{"VRP", "VRS 110nJ", "VRS 90nJ", "VRS 70nJ", "VRS 50nJ", "VRS 30nJ"},
+		Percent: true,
+	}
+	var avg []float64
+	for _, name := range s.Names() {
+		var vals []float64
+		v, err := s.ED2Saving(name, "vrp", power.GateSoftware)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		for _, th := range Thresholds {
+			v, err := s.ED2Saving(name, vrsVariant(th), power.GateSoftware)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		rep.Rows = append(rep.Rows, Row{Label: name, Values: vals})
+		if avg == nil {
+			avg = make([]float64, len(vals))
+		}
+		for i, v := range vals {
+			avg[i] += v
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(s.Names()))
+	}
+	rep.Rows = append(rep.Rows, Row{Label: "AVG", Values: avg})
+	return rep, nil
+}
+
+// Figure13 reproduces the energy savings of the two hardware compression
+// schemes on the unmodified binaries.
+func (s *Suite) Figure13() (*Report, error) {
+	rep := &Report{
+		ID:      "fig13",
+		Title:   "Energy savings for the hardware approaches",
+		Columns: []string{"size compression", "significance compression"},
+		Percent: true,
+	}
+	var avg [2]float64
+	for _, name := range s.Names() {
+		vSize, err := s.EnergySaving(name, "base", power.GateHWSize)
+		if err != nil {
+			return nil, err
+		}
+		vSig, err := s.EnergySaving(name, "base", power.GateHWSignificance)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, Row{Label: name, Values: []float64{vSize, vSig}})
+		avg[0] += vSize
+		avg[1] += vSig
+	}
+	rep.Rows = append(rep.Rows, Row{Label: "AVG",
+		Values: []float64{avg[0] / 8, avg[1] / 8}})
+	return rep, nil
+}
+
+// Figure14 reproduces the per-structure savings of the hardware schemes.
+func (s *Suite) Figure14() (*Report, error) {
+	rep := &Report{
+		ID:      "fig14",
+		Title:   "Energy savings for each processor part (hardware schemes)",
+		Columns: structureColumns(),
+		Percent: true,
+	}
+	perSize, totSize, err := s.perStructureSavings("base", power.GateHWSize)
+	if err != nil {
+		return nil, err
+	}
+	perSig, totSig, err := s.perStructureSavings("base", power.GateHWSignificance)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows,
+		structureRow("size compression", perSize, totSize),
+		structureRow("significance compression", perSig, totSig),
+	)
+	return rep, nil
+}
+
+// Figure15 reproduces the energy-delay² savings of every software,
+// hardware, and combined configuration.
+func (s *Suite) Figure15(threshold float64) (*Report, error) {
+	vrsV := vrsVariant(threshold)
+	configs := []struct {
+		label   string
+		variant string
+		mode    power.GatingMode
+	}{
+		{"VRP", "vrp", power.GateSoftware},
+		{"VRS 50", vrsV, power.GateSoftware},
+		{"hdw size", "base", power.GateHWSize},
+		{"hdw significance", "base", power.GateHWSignificance},
+		{"VRP + hdw size", "vrp", power.GateCooperative},
+		{"VRP + hdw significance", "vrp", power.GateCooperativeSig},
+		{"VRS 50 + hdw size", vrsV, power.GateCooperative},
+		{"VRS 50 + hdw significance", vrsV, power.GateCooperativeSig},
+	}
+	rep := &Report{
+		ID:      "fig15",
+		Title:   "Energy-delay^2 savings for hardware and software configurations",
+		Percent: true,
+	}
+	for _, c := range configs {
+		rep.Columns = append(rep.Columns, c.label)
+	}
+	var avg []float64
+	for _, name := range s.Names() {
+		var vals []float64
+		for _, c := range configs {
+			v, err := s.ED2Saving(name, c.variant, c.mode)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		rep.Rows = append(rep.Rows, Row{Label: name, Values: vals})
+		if avg == nil {
+			avg = make([]float64, len(vals))
+		}
+		for i, v := range vals {
+			avg[i] += v
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(s.Names()))
+	}
+	rep.Rows = append(rep.Rows, Row{Label: "AVG", Values: avg})
+	return rep, nil
+}

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"opgate/internal/emu"
+	"opgate/internal/power"
+	"opgate/internal/vrp"
+	"opgate/internal/vrs"
+)
+
+// Figure2 reproduces the dynamic instruction-width distribution under
+// conventional vs proposed (useful) value range propagation, averaged over
+// the suite. The proposed analysis must find strictly more narrow
+// instructions.
+func (s *Suite) Figure2() (*Report, error) {
+	var conv, useful vrp.WidthHistogram
+	for _, name := range s.Names() {
+		hc, err := s.DynWidthHistogram(name, "vrp-conv")
+		if err != nil {
+			return nil, err
+		}
+		hu, err := s.DynWidthHistogram(name, "vrp")
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 4; i++ {
+			conv.Count[i] += hc.Count[i]
+			useful.Count[i] += hu.Count[i]
+		}
+	}
+	rep := &Report{
+		ID:      "fig2",
+		Title:   "Dynamic instruction distribution by width: conventional vs proposed VRP",
+		Columns: []string{"8 bits", "16 bits", "32 bits", "64 bits"},
+		Percent: true,
+	}
+	rep.Rows = append(rep.Rows,
+		Row{Label: "Conventional VRP", Values: fractions(conv)},
+		Row{Label: "Proposed VRP", Values: fractions(useful)},
+	)
+	return rep, nil
+}
+
+func fractions(h vrp.WidthHistogram) []float64 {
+	return []float64{h.Fraction(0), h.Fraction(1), h.Fraction(2), h.Fraction(3)}
+}
+
+// Figure4 reproduces the disposition of profiled points per benchmark:
+// specialized, dependent on another point (subsumed), or no benefit.
+func (s *Suite) Figure4(threshold float64) (*Report, error) {
+	rep := &Report{
+		ID:      "fig4",
+		Title:   "Distribution of the points profiled after specialization",
+		Columns: []string{"points", "specialized", "dependent", "no benefit"},
+	}
+	var totPts, totSpec, totDep float64
+	for _, name := range s.Names() {
+		r, err := s.VRS(name, threshold)
+		if err != nil {
+			return nil, err
+		}
+		var spec, dep, none float64
+		for i := range r.Points {
+			switch r.Points[i].Outcome {
+			case vrs.Specialized:
+				spec++
+			case vrs.Subsumed:
+				dep++
+			default:
+				none++
+			}
+		}
+		n := float64(len(r.Points))
+		row := Row{Label: name, Values: []float64{n, 0, 0, 0}}
+		if n > 0 {
+			row.Values[1], row.Values[2], row.Values[3] = spec/n, dep/n, none/n
+		}
+		rep.Rows = append(rep.Rows, row)
+		totPts += n
+		totSpec += spec
+		totDep += dep
+	}
+	if totPts > 0 {
+		rep.Rows = append(rep.Rows, Row{Label: "Average", Values: []float64{
+			totPts / 8, totSpec / totPts, totDep / totPts, 1 - (totSpec+totDep)/totPts}})
+	}
+	rep.Note = "columns 2-4 are fractions of profiled points; column 1 is the count (the paper's bar annotations)"
+	return rep, nil
+}
+
+// Figure5 reproduces the static disposition of instructions inside
+// specialized regions: kept (re-ranged) vs eliminated by constant
+// propagation and dead-code elimination.
+func (s *Suite) Figure5(threshold float64) (*Report, error) {
+	rep := &Report{
+		ID:      "fig5",
+		Title:   "Distribution of the specialized instructions at compile time",
+		Columns: []string{"static instrs", "specialized", "eliminated"},
+	}
+	for _, name := range s.Names() {
+		r, err := s.VRS(name, threshold)
+		if err != nil {
+			return nil, err
+		}
+		total := float64(r.StaticSpecialized + r.StaticEliminated)
+		row := Row{Label: name, Values: []float64{total, 0, 0}}
+		if total > 0 {
+			row.Values[1] = float64(r.StaticSpecialized) / total
+			row.Values[2] = float64(r.StaticEliminated) / total
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Note = "benchmarks with zero profitable points have empty rows (the paper's gcc-like cases specialize most)"
+	return rep, nil
+}
+
+// Figure6 reproduces the run-time share of specialized instructions and of
+// the specialization comparisons (guards).
+func (s *Suite) Figure6(threshold float64) (*Report, error) {
+	rep := &Report{
+		ID:      "fig6",
+		Title:   "Distribution of run-time instructions: specialized vs guard comparisons",
+		Columns: []string{"specialized", "comparisons"},
+		Percent: true,
+	}
+	var sumSpec, sumGuard float64
+	for _, name := range s.Names() {
+		r, err := s.VRS(name, threshold)
+		if err != nil {
+			return nil, err
+		}
+		m := emu.New(r.Apply())
+		m.EnableCounts()
+		if err := m.Run(); err != nil {
+			return nil, err
+		}
+		var spec, guard int64
+		for idx := range r.SpecIns {
+			spec += m.InsCount[idx]
+		}
+		for idx := range r.GuardIns {
+			guard += m.InsCount[idx]
+		}
+		specF := float64(spec) / float64(m.Dyn)
+		guardF := float64(guard) / float64(m.Dyn)
+		rep.Rows = append(rep.Rows, Row{Label: name, Values: []float64{specF, guardF}})
+		sumSpec += specF
+		sumGuard += guardF
+	}
+	rep.Rows = append(rep.Rows, Row{Label: "Average", Values: []float64{sumSpec / 8, sumGuard / 8}})
+	return rep, nil
+}
+
+// Figure7 reproduces the dynamic width distribution for the three value
+// range mechanisms: none (the original binary), VRP, and VRS.
+func (s *Suite) Figure7(threshold float64) (*Report, error) {
+	variants := []struct{ label, variant string }{
+		{"non", "base"},
+		{"VRP", "vrp"},
+		{"VRS 50uJ", vrsVariant(threshold)},
+	}
+	rep := &Report{
+		ID:      "fig7",
+		Title:   "Run-time instructions according to width",
+		Columns: []string{"8 bits", "16 bits", "32 bits", "64 bits"},
+		Percent: true,
+	}
+	for _, v := range variants {
+		var h vrp.WidthHistogram
+		for _, name := range s.Names() {
+			hw, err := s.DynWidthHistogram(name, v.variant)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < 4; i++ {
+				h.Count[i] += hw.Count[i]
+			}
+		}
+		rep.Rows = append(rep.Rows, Row{Label: v.label, Values: fractions(h)})
+	}
+	rep.Note = "our VRS gains are instruction eliminations plus guards (full-width compares), so its width shift is smaller than the paper's"
+	return rep, nil
+}
+
+func vrsVariant(threshold float64) string {
+	if threshold == float64(int(threshold)) {
+		return "vrs" + itoa(int(threshold))
+	}
+	return "vrs50"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// Figure12 reproduces the data-size distribution: the share of dynamic
+// result values needing 1..8 significant bytes. The 5-byte peak comes from
+// memory addresses (33+ bits), as in the paper.
+func (s *Suite) Figure12() (*Report, error) {
+	var counts [9]int64
+	var total int64
+	for _, name := range s.Names() {
+		p, err := s.Program(name, s.evalClass())
+		if err != nil {
+			return nil, err
+		}
+		m := emu.New(p)
+		m.Trace = func(ev emu.Event) {
+			if _, ok := ev.Ins.Dest(); !ok {
+				return
+			}
+			counts[power.SignificantBytes(ev.Value)]++
+			total++
+		}
+		if err := m.Run(); err != nil {
+			return nil, err
+		}
+	}
+	rep := &Report{
+		ID:      "fig12",
+		Title:   "Data size distribution (significant bytes of produced values)",
+		Columns: []string{"1", "2", "3", "4", "5", "6", "7", "8"},
+		Percent: true,
+	}
+	row := Row{Label: "occurrence"}
+	for b := 1; b <= 8; b++ {
+		row.Values = append(row.Values, float64(counts[b])/float64(total))
+	}
+	rep.Rows = append(rep.Rows, row)
+	return rep, nil
+}

@@ -1,0 +1,287 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"opgate/internal/power"
+)
+
+// newQuickSuite shares one train-input suite across the harness tests
+// (experiments cache inside the suite).
+var quickSuite = NewSuite(true)
+
+// TestTable1PaperIntegers: the calibration anchor.
+func TestTable1PaperIntegers(t *testing.T) {
+	rep := quickSuite.Table1()
+	checks := map[[2]string]float64{
+		{"src 64", "32"}: 1, {"src 64", "16"}: 3, {"src 64", "8"}: 6,
+		{"src 32", "16"}: 2, {"src 32", "8"}: 5,
+		{"src 16", "8"}: 3,
+		{"src 8", "64"}: -6,
+	}
+	for k, want := range checks {
+		if got := rep.MustValue(k[0], k[1]); got < want-1e-9 || got > want+1e-9 {
+			t.Errorf("Table1 %v = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestTable2MentionsMachine(t *testing.T) {
+	txt := quickSuite.Table2()
+	for _, want := range []string{"64KB", "256KB", "96", "gshare 64K"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+}
+
+func TestTable3RowsSumToOne(t *testing.T) {
+	rep, err := quickSuite.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var classShare float64
+	for _, row := range rep.Rows {
+		classShare += row.Values[0]
+		widthSum := row.Values[1] + row.Values[2] + row.Values[3] + row.Values[4]
+		if widthSum < 0.99 || widthSum > 1.01 {
+			t.Errorf("%s width split sums to %v", row.Label, widthSum)
+		}
+	}
+	if classShare < 0.99 || classShare > 1.01 {
+		t.Errorf("class shares sum to %v", classShare)
+	}
+	// MUL must be 100%% 64-bit (not encodable narrower in the paper set).
+	if v, ok := rep.Value("MUL", "64b"); ok && v != 1.0 {
+		t.Errorf("MUL 64-bit share = %v, want 1.0", v)
+	}
+}
+
+// TestFigure2Shape: the paper's claim — proposed VRP finds more narrow
+// instructions; its 64-bit share is strictly lower.
+func TestFigure2Shape(t *testing.T) {
+	rep, err := quickSuite.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := rep.MustValue("Conventional VRP", "64 bits")
+	useful := rep.MustValue("Proposed VRP", "64 bits")
+	if useful >= conv {
+		t.Errorf("proposed VRP 64-bit share %.3f not below conventional %.3f", useful, conv)
+	}
+}
+
+// TestFigure3Shape: datapath structures save the most; LSQ and D-cache the
+// least; processor total is positive but below the structure peaks.
+func TestFigure3Shape(t *testing.T) {
+	rep, err := quickSuite.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iq := rep.MustValue("VRP", "InstrQueue")
+	fu := rep.MustValue("VRP", "FU")
+	lsq := rep.MustValue("VRP", "LSQ")
+	dc := rep.MustValue("VRP", "D-Cache(L1)")
+	proc := rep.MustValue("VRP", "Processor")
+	if iq < 0.05 || fu < 0.05 {
+		t.Errorf("datapath savings too small: IQ %.3f FU %.3f", iq, fu)
+	}
+	if lsq >= iq || dc >= iq {
+		t.Errorf("memory structures (LSQ %.3f, D$ %.3f) should save less than IQ %.3f (addresses are wide)", lsq, dc, iq)
+	}
+	if proc <= 0 || proc >= fu {
+		t.Errorf("processor total %.3f should be positive and below the FU peak %.3f", proc, fu)
+	}
+}
+
+// TestFigure4MostPointsFiltered: the paper filters ~88%% of profiled
+// points as no-benefit.
+func TestFigure4MostPointsFiltered(t *testing.T) {
+	rep, err := quickSuite.Figure4(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := rep.MustValue("Average", "no benefit")
+	if nb < 0.5 {
+		t.Errorf("only %.2f of points filtered; the paper filters most", nb)
+	}
+	spec := rep.MustValue("Average", "specialized")
+	if spec <= 0 {
+		t.Error("no points specialized on average")
+	}
+}
+
+// TestFigure6GuardsBelowSpecialized: guard comparisons stay well below
+// the specialized-instruction share (the paper's 1%% vs 15%%).
+func TestFigure6GuardsBelowSpecialized(t *testing.T) {
+	rep, err := quickSuite.Figure6(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := rep.MustValue("Average", "specialized")
+	guard := rep.MustValue("Average", "comparisons")
+	if spec > 0 && guard >= spec {
+		t.Errorf("guards (%.3f) not below specialized share (%.3f)", guard, spec)
+	}
+}
+
+// TestFigure8VRSBeatsVRP: VRS energy savings are at least VRP's on every
+// benchmark (the paper's Fig. 8 ordering), and thresholds behave
+// monotonically on the average.
+func TestFigure8VRSBeatsVRP(t *testing.T) {
+	rep, err := quickSuite.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		vrpV := row.Values[0]
+		for i, v := range row.Values[1:] {
+			if v < vrpV-0.005 {
+				t.Errorf("%s: VRS config %d (%.3f) below VRP (%.3f)", row.Label, i, v, vrpV)
+			}
+		}
+	}
+}
+
+// TestFigure11Ordering: the headline result — VRS ED² beats VRP ED² on
+// average.
+func TestFigure11Ordering(t *testing.T) {
+	rep, err := quickSuite.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrpV := rep.MustValue("AVG", "VRP")
+	vrsV := rep.MustValue("AVG", "VRS 50nJ")
+	if vrpV <= 0 {
+		t.Errorf("VRP ED² saving %.3f not positive", vrpV)
+	}
+	if vrsV < vrpV {
+		t.Errorf("VRS ED² %.3f below VRP %.3f", vrsV, vrpV)
+	}
+}
+
+// TestFigure12AddressPeak: the data-size distribution must show the
+// paper's 5-byte peak (memory addresses) and a dominant 1-byte bar.
+func TestFigure12AddressPeak(t *testing.T) {
+	rep, err := quickSuite.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := rep.MustValue("occurrence", "1")
+	five := rep.MustValue("occurrence", "5")
+	six := rep.MustValue("occurrence", "6")
+	if one < 0.2 {
+		t.Errorf("1-byte share %.3f too small", one)
+	}
+	if five < 0.05 {
+		t.Errorf("no 5-byte address peak: %.3f", five)
+	}
+	if six > five {
+		t.Errorf("6-byte share %.3f above the 5-byte peak %.3f", six, five)
+	}
+}
+
+// TestFigure15CombinedWins: the paper's final ordering — the cooperative
+// schemes beat both hardware-only and software-only on average.
+func TestFigure15CombinedWins(t *testing.T) {
+	rep, err := quickSuite.Figure15(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vrpV := rep.MustValue("AVG", "VRP")
+	vrsV := rep.MustValue("AVG", "VRS 50")
+	hwSize := rep.MustValue("AVG", "hdw size")
+	combined := rep.MustValue("AVG", "VRS 50 + hdw size")
+	if vrsV < vrpV {
+		t.Errorf("VRS (%.3f) below VRP (%.3f)", vrsV, vrpV)
+	}
+	if hwSize < vrpV {
+		t.Errorf("hardware (%.3f) below VRP alone (%.3f): the paper has HW > VRP", hwSize, vrpV)
+	}
+	if combined <= hwSize || combined <= vrsV {
+		t.Errorf("combined (%.3f) does not beat HW-only (%.3f) and VRS-only (%.3f)",
+			combined, hwSize, vrsV)
+	}
+}
+
+// TestFigure13HardwareSavings: both hardware schemes save energy on every
+// benchmark.
+func TestFigure13HardwareSavings(t *testing.T) {
+	rep, err := quickSuite.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		for i, v := range row.Values {
+			if v <= 0 {
+				t.Errorf("%s config %d: saving %.3f not positive", row.Label, i, v)
+			}
+		}
+	}
+}
+
+// TestGatingModeSweepConsistency: for one benchmark, baseline energy is
+// the maximum across modes.
+func TestGatingModeSweepConsistency(t *testing.T) {
+	base, err := quickSuite.Baseline("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []power.GatingMode{power.GateSoftware, power.GateHWSize, power.GateHWSignificance} {
+		variant := "base"
+		if mode == power.GateSoftware {
+			variant = "vrp"
+		}
+		r, err := quickSuite.Sim("gcc", variant, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Energy.Total() >= base.Energy.Total() {
+			t.Errorf("mode %v used more energy than baseline", mode)
+		}
+	}
+}
+
+// TestAblationOrdering: richer opcode sets and more analysis machinery
+// can only help.
+func TestAblationOrdering(t *testing.T) {
+	rep, err := quickSuite.AblationOpcodeSets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := rep.MustValue("base ISA (no ALU widths)", "energy saved")
+	paper := rep.MustValue("paper extension set", "energy saved")
+	ideal := rep.MustValue("ideal (all widths)", "energy saved")
+	if !(base <= paper && paper <= ideal) {
+		t.Errorf("opcode-set ordering violated: %v %v %v", base, paper, ideal)
+	}
+	// §4.3's claim: the chosen set captures most of the ideal benefit.
+	if paper < 0.7*ideal {
+		t.Errorf("paper set (%.3f) captures under 70%% of ideal (%.3f)", paper, ideal)
+	}
+
+	rep2, err := quickSuite.AblationAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := rep2.MustValue("full (proposed VRP)", "64-bit share")
+	none := rep2.MustValue("ranges only (all off)", "64-bit share")
+	if full >= none {
+		t.Errorf("full analysis (%.3f) not narrower than bare ranges (%.3f)", full, none)
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	rep := &Report{
+		ID: "x", Title: "T", Columns: []string{"a", "b"},
+		Rows: []Row{{Label: "r", Values: []float64{0.5, 0.25}}}, Percent: true,
+	}
+	out := rep.Format()
+	if !strings.Contains(out, "50.0%") || !strings.Contains(out, "25.0%") {
+		t.Errorf("bad formatting:\n%s", out)
+	}
+	if _, ok := rep.Value("r", "nope"); ok {
+		t.Error("Value found a missing column")
+	}
+}

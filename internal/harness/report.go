@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is a regenerated table or figure: labelled rows of named numeric
+// columns, with a formatter that renders it the way the paper lays it out.
+type Report struct {
+	ID      string // "table1", "fig8", ...
+	Title   string
+	Columns []string
+	Rows    []Row
+	// Note records any reproduction caveat (documented in EXPERIMENTS.md).
+	Note string
+	// Percent renders values as percentages.
+	Percent bool
+}
+
+// Row is one labelled series of values.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Value returns the cell (rowLabel, column), for tests.
+func (r *Report) Value(rowLabel, column string) (float64, bool) {
+	ci := -1
+	for i, c := range r.Columns {
+		if c == column {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, row := range r.Rows {
+		if row.Label == rowLabel && ci < len(row.Values) {
+			return row.Values[ci], true
+		}
+	}
+	return 0, false
+}
+
+// MustValue is Value or panic (bench/test convenience).
+func (r *Report) MustValue(rowLabel, column string) float64 {
+	v, ok := r.Value(rowLabel, column)
+	if !ok {
+		panic(fmt.Sprintf("report %s: no cell (%s, %s)", r.ID, rowLabel, column))
+	}
+	return v
+}
+
+// Format renders the report as an aligned text table.
+func (r *Report) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+
+	labelW := 10
+	for _, row := range r.Rows {
+		if len(row.Label) > labelW {
+			labelW = len(row.Label)
+		}
+	}
+	colW := 9
+	for _, c := range r.Columns {
+		if len(c)+1 > colW {
+			colW = len(c) + 1
+		}
+	}
+
+	fmt.Fprintf(&sb, "%-*s", labelW+2, "")
+	for _, c := range r.Columns {
+		fmt.Fprintf(&sb, "%*s", colW, c)
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-*s", labelW+2, row.Label)
+		for _, v := range row.Values {
+			if r.Percent {
+				fmt.Fprintf(&sb, "%*.1f%%", colW-1, v*100)
+			} else {
+				fmt.Fprintf(&sb, "%*.2f", colW, v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	if r.Note != "" {
+		fmt.Fprintf(&sb, "note: %s\n", r.Note)
+	}
+	return sb.String()
+}

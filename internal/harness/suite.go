@@ -1,0 +1,268 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§4): per-experiment drivers run the workload suite through
+// the binary optimizer (VRP/VRS), the out-of-order timing model, and the
+// operand-gated power model, then print the same rows and series the paper
+// reports. Absolute energy values are model units; the experiments compare
+// configurations against the same ungated baseline exactly as the paper
+// does.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"opgate/internal/emu"
+	"opgate/internal/power"
+	"opgate/internal/prog"
+	"opgate/internal/uarch"
+	"opgate/internal/vrp"
+	"opgate/internal/vrs"
+	"opgate/internal/workload"
+)
+
+// Thresholds are the paper's VRS cost configurations (Fig. 8's "VRS 110nJ"
+// … "VRS 30nJ").
+var Thresholds = []float64{110, 90, 70, 50, 30}
+
+// Suite caches the expensive artifacts (built programs, analyses,
+// transformed binaries, simulation results) across experiments.
+type Suite struct {
+	// Quick selects the train inputs for evaluation runs, trimming
+	// benchmark time; the full suite evaluates on ref inputs like the
+	// paper.
+	Quick bool
+
+	Uarch uarch.Config
+	Power power.Params
+
+	mu    sync.Mutex
+	progs map[progKey]*prog.Program
+	vrps  map[vrpKey]*vrp.Result
+	vrss  map[vrsKey]*vrs.Result
+	sims  map[simKey]*uarch.Result
+}
+
+type progKey struct {
+	name  string
+	class workload.InputClass
+}
+
+type vrpKey struct {
+	name string
+	mode vrp.Mode
+}
+
+type vrsKey struct {
+	name      string
+	threshold float64
+}
+
+type simKey struct {
+	name    string
+	variant string // "base", "vrp", "vrs<θ>"
+	mode    power.GatingMode
+}
+
+// NewSuite builds a suite with the paper's machine parameters.
+func NewSuite(quick bool) *Suite {
+	return &Suite{
+		Quick: quick,
+		Uarch: uarch.DefaultConfig(),
+		Power: power.DefaultParams(),
+		progs: make(map[progKey]*prog.Program),
+		vrps:  make(map[vrpKey]*vrp.Result),
+		vrss:  make(map[vrsKey]*vrs.Result),
+		sims:  make(map[simKey]*uarch.Result),
+	}
+}
+
+// Names returns the benchmark names in paper order.
+func (s *Suite) Names() []string {
+	names := make([]string, 0, 8)
+	for _, w := range workload.All() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// evalClass is the input class evaluation runs use.
+func (s *Suite) evalClass() workload.InputClass {
+	if s.Quick {
+		return workload.Train
+	}
+	return workload.Ref
+}
+
+// Program returns (cached) the named benchmark built for an input class.
+func (s *Suite) Program(name string, class workload.InputClass) (*prog.Program, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := progKey{name, class}
+	if p, ok := s.progs[key]; ok {
+		return p, nil
+	}
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := w.Build(class)
+	if err != nil {
+		return nil, fmt.Errorf("harness: build %s/%v: %w", name, class, err)
+	}
+	s.progs[key] = p
+	return p, nil
+}
+
+// VRP returns (cached) the analysis of the evaluation binary.
+func (s *Suite) VRP(name string, mode vrp.Mode) (*vrp.Result, error) {
+	p, err := s.Program(name, s.evalClass())
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := vrpKey{name, mode}
+	if r, ok := s.vrps[key]; ok {
+		return r, nil
+	}
+	r, err := vrp.Analyze(p, vrp.Options{Mode: mode})
+	if err != nil {
+		return nil, fmt.Errorf("harness: vrp %s: %w", name, err)
+	}
+	s.vrps[key] = r
+	return r, nil
+}
+
+// VRS returns (cached) the specialization of the evaluation binary at a
+// threshold, profiled on the train binary (the paper's methodology).
+func (s *Suite) VRS(name string, threshold float64) (*vrs.Result, error) {
+	trainP, err := s.Program(name, workload.Train)
+	if err != nil {
+		return nil, err
+	}
+	refP, err := s.Program(name, s.evalClass())
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := vrsKey{name, threshold}
+	if r, ok := s.vrss[key]; ok {
+		return r, nil
+	}
+	r, err := vrs.Specialize(trainP, refP, vrs.Options{Threshold: threshold, Power: s.Power})
+	if err != nil {
+		return nil, fmt.Errorf("harness: vrs %s@%v: %w", name, threshold, err)
+	}
+	s.vrss[key] = r
+	return r, nil
+}
+
+// variantProgram resolves a named program variant for simulation.
+func (s *Suite) variantProgram(name, variant string) (*prog.Program, error) {
+	switch variant {
+	case "base":
+		return s.Program(name, s.evalClass())
+	case "vrp":
+		r, err := s.VRP(name, vrp.Useful)
+		if err != nil {
+			return nil, err
+		}
+		return r.Apply(), nil
+	case "vrp-conv":
+		r, err := s.VRP(name, vrp.Conventional)
+		if err != nil {
+			return nil, err
+		}
+		return r.Apply(), nil
+	default: // "vrs<threshold>"
+		var th float64
+		if _, err := fmt.Sscanf(variant, "vrs%g", &th); err != nil {
+			return nil, fmt.Errorf("harness: unknown variant %q", variant)
+		}
+		r, err := s.VRS(name, th)
+		if err != nil {
+			return nil, err
+		}
+		return r.Apply(), nil
+	}
+}
+
+// Sim returns (cached) the timing+energy simulation of a program variant
+// under a gating mode.
+func (s *Suite) Sim(name, variant string, mode power.GatingMode) (*uarch.Result, error) {
+	s.mu.Lock()
+	key := simKey{name, variant, mode}
+	if r, ok := s.sims[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	p, err := s.variantProgram(name, variant)
+	if err != nil {
+		return nil, err
+	}
+	r, err := uarch.Run(p, s.Uarch, s.Power, mode)
+	if err != nil {
+		return nil, fmt.Errorf("harness: sim %s/%s/%v: %w", name, variant, mode, err)
+	}
+	s.mu.Lock()
+	s.sims[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Baseline returns the ungated simulation of the original binary.
+func (s *Suite) Baseline(name string) (*uarch.Result, error) {
+	return s.Sim(name, "base", power.GateNone)
+}
+
+// EnergySaving returns the fractional whole-processor energy saving of a
+// (variant, mode) configuration against the baseline.
+func (s *Suite) EnergySaving(name, variant string, mode power.GatingMode) (float64, error) {
+	base, err := s.Baseline(name)
+	if err != nil {
+		return 0, err
+	}
+	g, err := s.Sim(name, variant, mode)
+	if err != nil {
+		return 0, err
+	}
+	_, total := power.Savings(base.Energy, g.Energy)
+	return total, nil
+}
+
+// ED2Saving returns the fractional energy-delay² improvement of a
+// configuration against the baseline.
+func (s *Suite) ED2Saving(name, variant string, mode power.GatingMode) (float64, error) {
+	base, err := s.Baseline(name)
+	if err != nil {
+		return 0, err
+	}
+	g, err := s.Sim(name, variant, mode)
+	if err != nil {
+		return 0, err
+	}
+	return power.EnergyDelay2Saving(base.Energy.Total(), base.Cycles, g.Energy.Total(), g.Cycles), nil
+}
+
+// DynWidthHistogram executes a program variant and tallies the widths of
+// retired width-bearing instructions.
+func (s *Suite) DynWidthHistogram(name, variant string) (vrp.WidthHistogram, error) {
+	var h vrp.WidthHistogram
+	p, err := s.variantProgram(name, variant)
+	if err != nil {
+		return h, err
+	}
+	m := emu.New(p)
+	m.Trace = func(ev emu.Event) {
+		if vrp.CountsWidth(ev.Ins.Op) {
+			h.Add(ev.Ins.Width, 1)
+		}
+	}
+	if err := m.Run(); err != nil {
+		return h, err
+	}
+	return h, nil
+}

@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+
+	"opgate/internal/emu"
+	"opgate/internal/isa"
+	"opgate/internal/power"
+	"opgate/internal/vrp"
+)
+
+// Table1 regenerates the ALU energy-savings matrix: energy saved moving an
+// ALU operation from a source width (row) to a destination width (column).
+// The power model's width profile is calibrated so these match the paper's
+// integers exactly (6/5/3/2/1 nJ pattern).
+func (s *Suite) Table1() *Report {
+	t := power.ALUSavingsTable(s.Power)
+	names := []string{"64", "32", "16", "8"}
+	rep := &Report{
+		ID:      "table1",
+		Title:   "Energy savings for ALU operations (nJ), source width (row) -> dest width (column)",
+		Columns: names,
+	}
+	for i, src := range names {
+		rep.Rows = append(rep.Rows, Row{Label: "src " + src, Values: t[i][:]})
+	}
+	return rep
+}
+
+// Table2 renders the machine parameters the simulator implements.
+func (s *Suite) Table2() string {
+	c := s.Uarch
+	mem := c.Memory
+	return fmt.Sprintf(`=== table2: Machine parameters ===
+Fetch width              %d instructions
+I-cache                  %dKB, %d-way, %d-byte lines, %d-cycle hit
+Branch predictor         gshare %dK x 2-bit + bimodal %dK, chooser %dK, %d-bit history
+Decode/rename width      %d instructions
+Max in-flight            %d
+Retire width             %d instructions
+Functional units         %d intALU + %d int mul/div
+Issue width              %d, out-of-order, window based
+D-cache L1               %dKB, %d-way, %d-byte lines, %d-cycle hit
+L2                       %dKB, %d-way, %d-byte lines, %d-cycle hit; mem %d+%d cycles
+Physical registers       %d
+`,
+		c.FetchWidth,
+		mem.L1I.SizeBytes>>10, mem.L1I.Assoc, mem.L1I.LineBytes, mem.L1I.HitCycles,
+		c.Predictor.GshareEntries>>10, c.Predictor.BimodalEntries>>10,
+		c.Predictor.ChooserEntries>>10, c.Predictor.HistoryBits,
+		c.DecodeWidth, c.WindowSize, c.RetireWidth,
+		c.IntALUs, c.IntMulDiv, c.IssueWidth,
+		mem.L1D.SizeBytes>>10, mem.L1D.Assoc, mem.L1D.LineBytes, mem.L1D.HitCycles,
+		mem.L2.SizeBytes>>10, mem.L2.Assoc, mem.L2.LineBytes, mem.L2.HitCycles,
+		mem.MemFirstChunk, mem.MemInterChunk,
+		c.PhysRegs)
+}
+
+// Table3 regenerates the distribution of operation types: for each class,
+// its share of dynamic instructions and the width split within the class,
+// measured on the proposed-VRP binaries across the suite.
+func (s *Suite) Table3() (*Report, error) {
+	var perClass [isa.NumClasses][4]int64
+	var classTotal [isa.NumClasses]int64
+	var total int64
+
+	for _, name := range s.Names() {
+		r, err := s.VRP(name, vrp.Useful)
+		if err != nil {
+			return nil, err
+		}
+		p := r.Apply()
+		m := emu.New(p)
+		m.Trace = func(ev emu.Event) {
+			cls := isa.ClassOf(ev.Ins.Op)
+			if !vrp.CountsWidth(ev.Ins.Op) {
+				return
+			}
+			wi := widthIndex(ev.Ins.Width)
+			perClass[cls][wi]++
+			classTotal[cls]++
+			total++
+		}
+		if err := m.Run(); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &Report{
+		ID:      "table3",
+		Title:   "Distribution of operation types (dynamic, after proposed VRP)",
+		Columns: []string{"% of instrs", "64b", "32b", "16b", "8b"},
+		Percent: true,
+	}
+	order := []isa.Class{isa.ClassAdd, isa.ClassMask, isa.ClassCmp, isa.ClassShift,
+		isa.ClassSub, isa.ClassLogic, isa.ClassCmov, isa.ClassMul,
+		isa.ClassLoad, isa.ClassStore}
+	for _, cls := range order {
+		if classTotal[cls] == 0 {
+			continue
+		}
+		ct := float64(classTotal[cls])
+		rep.Rows = append(rep.Rows, Row{
+			Label: cls.String(),
+			Values: []float64{
+				ct / float64(total),
+				float64(perClass[cls][3]) / ct,
+				float64(perClass[cls][2]) / ct,
+				float64(perClass[cls][1]) / ct,
+				float64(perClass[cls][0]) / ct,
+			},
+		})
+	}
+	rep.Note = "paper's Table 3 covers SpecInt95; shares here are the synthetic suite's"
+	return rep, nil
+}
+
+func widthIndex(w isa.Width) int {
+	switch w {
+	case isa.W8:
+		return 0
+	case isa.W16:
+		return 1
+	case isa.W32:
+		return 2
+	default:
+		return 3
+	}
+}

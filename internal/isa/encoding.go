@@ -1,0 +1,127 @@
+package isa
+
+import "fmt"
+
+// OG64 instructions encode into one 64-bit word. The layout is:
+//
+//	bits 63..56  opcode (8)
+//	bits 55..54  width  (2)   00=b 01=h 10=w 11=q
+//	bits 53..49  rd     (5)
+//	bits 48..44  ra     (5)
+//	bits 43..39  rb     (5)
+//	bit  38      hasImm (1)
+//	bits 37..32  reserved (6)
+//	bits 31..0   imm / target (32, sign-extended immediate)
+//
+// Branch targets occupy the immediate field as unsigned instruction
+// indices; the assembler guarantees they fit.
+
+const (
+	encOpShift    = 56
+	encWidthShift = 54
+	encRdShift    = 49
+	encRaShift    = 44
+	encRbShift    = 39
+	encImmFlagBit = 38
+)
+
+func widthCode(w Width) uint64 {
+	switch w {
+	case W8:
+		return 0
+	case W16:
+		return 1
+	case W32:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func widthFromCode(c uint64) Width {
+	switch c & 3 {
+	case 0:
+		return W8
+	case 1:
+		return W16
+	case 2:
+		return W32
+	default:
+		return W64
+	}
+}
+
+// Encode packs the instruction into its 64-bit binary form. It returns an
+// error when the immediate or branch target does not fit the 32-bit field.
+func Encode(in Instruction) (uint64, error) {
+	var word uint64
+	word |= uint64(in.Op) << encOpShift
+	word |= widthCode(in.Width) << encWidthShift
+	word |= (uint64(in.Rd) & 31) << encRdShift
+	word |= (uint64(in.Ra) & 31) << encRaShift
+	word |= (uint64(in.Rb) & 31) << encRbShift
+	if in.HasImm {
+		word |= 1 << encImmFlagBit
+	}
+	if IsBranch(in.Op) && in.Op != OpRET {
+		if in.Target < 0 || in.Target > 1<<31-1 {
+			return 0, fmt.Errorf("isa: branch target %d out of range", in.Target)
+		}
+		word |= uint64(uint32(in.Target))
+		return word, nil
+	}
+	if in.Imm < -(1<<31) || in.Imm > 1<<31-1 {
+		return 0, fmt.Errorf("isa: immediate %d out of 32-bit range", in.Imm)
+	}
+	word |= uint64(uint32(in.Imm))
+	return word, nil
+}
+
+// Decode unpacks a 64-bit binary word into an Instruction. It returns an
+// error for undefined opcodes.
+func Decode(word uint64) (Instruction, error) {
+	op := Op(word >> encOpShift)
+	if op == OpInvalid || int(op) >= NumOps {
+		return Instruction{}, fmt.Errorf("isa: undefined opcode %d", uint8(op))
+	}
+	in := Instruction{
+		Op:     op,
+		Width:  widthFromCode(word >> encWidthShift),
+		Rd:     Reg((word >> encRdShift) & 31),
+		Ra:     Reg((word >> encRaShift) & 31),
+		Rb:     Reg((word >> encRbShift) & 31),
+		HasImm: word&(1<<encImmFlagBit) != 0,
+	}
+	if IsBranch(op) && op != OpRET {
+		in.Target = int(uint32(word))
+		return in, nil
+	}
+	in.Imm = int64(int32(uint32(word)))
+	return in, nil
+}
+
+// EncodeProgram encodes a whole instruction sequence.
+func EncodeProgram(ins []Instruction) ([]uint64, error) {
+	words := make([]uint64, len(ins))
+	for i := range ins {
+		w, err := Encode(ins[i])
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d (%s): %w", i, ins[i].String(), err)
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+// DecodeProgram decodes a whole binary image.
+func DecodeProgram(words []uint64) ([]Instruction, error) {
+	ins := make([]Instruction, len(words))
+	for i, w := range words {
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("word %d: %w", i, err)
+		}
+		ins[i] = in
+	}
+	return ins, nil
+}

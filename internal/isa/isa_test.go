@@ -1,0 +1,205 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomInstruction draws a structurally valid instruction.
+func randomInstruction(r *rand.Rand) Instruction {
+	op := Op(1 + r.Intn(NumOps-1))
+	in := Instruction{
+		Op:    op,
+		Width: Widths[r.Intn(4)],
+		Rd:    Reg(r.Intn(NumRegs)),
+		Ra:    Reg(r.Intn(NumRegs)),
+		Rb:    Reg(r.Intn(NumRegs)),
+	}
+	if IsBranch(op) && op != OpRET {
+		in.Target = r.Intn(1 << 20)
+	} else {
+		in.Imm = int64(int32(r.Uint32()))
+		in.HasImm = r.Intn(2) == 0
+	}
+	return in
+}
+
+// TestEncodeDecodeRoundTrip: decode(encode(x)) == x for every valid
+// instruction shape.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		in := randomInstruction(r)
+		word, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		out, err := Decode(word)
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		// Branch instructions don't carry Imm/HasImm; normalise.
+		if IsBranch(in.Op) && in.Op != OpRET {
+			in.Imm, in.HasImm = 0, false
+			out.Imm, out.HasImm = 0, false
+		}
+		if in != out {
+			t.Fatalf("roundtrip mismatch:\n in=%+v\nout=%+v", in, out)
+		}
+	}
+}
+
+func TestEncodeRejectsOverflow(t *testing.T) {
+	if _, err := Encode(Instruction{Op: OpLDA, Imm: 1 << 40}); err == nil {
+		t.Error("expected error for oversized immediate")
+	}
+	if _, err := Encode(Instruction{Op: OpBR, Target: -1}); err == nil {
+		t.Error("expected error for negative target")
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	if _, err := Decode(0); err == nil {
+		t.Error("opcode 0 must not decode")
+	}
+	if _, err := Decode(uint64(200) << 56); err == nil {
+		t.Error("opcode 200 must not decode")
+	}
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	ins := make([]Instruction, 500)
+	for i := range ins {
+		ins[i] = randomInstruction(r)
+	}
+	words, err := EncodeProgram(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeProgram(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ins) {
+		t.Fatalf("length mismatch %d vs %d", len(back), len(ins))
+	}
+}
+
+func TestParseOpRoundTrip(t *testing.T) {
+	for op := OpLDA; op < Op(NumOps); op++ {
+		name := op.String()
+		back, ok := ParseOp(name)
+		if !ok || back != op {
+			t.Errorf("ParseOp(%q) = %v, %v", name, back, ok)
+		}
+	}
+	if _, ok := ParseOp("bogus"); ok {
+		t.Error("ParseOp accepted bogus mnemonic")
+	}
+}
+
+func TestParseWidthRoundTrip(t *testing.T) {
+	for _, w := range Widths {
+		back, ok := ParseWidth(w.String())
+		if !ok || back != w {
+			t.Errorf("ParseWidth(%q) failed", w.String())
+		}
+	}
+}
+
+func TestWidthForBytes(t *testing.T) {
+	cases := map[int]Width{0: W8, 1: W8, 2: W16, 3: W32, 4: W32, 5: W64, 8: W64, 9: W64}
+	for n, want := range cases {
+		if got := WidthForBytes(n); got != want {
+			t.Errorf("WidthForBytes(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestClassCoverage(t *testing.T) {
+	for op := OpLDA; op < Op(NumOps); op++ {
+		if ClassOf(op) == ClassNone {
+			t.Errorf("opcode %v has no class", op)
+		}
+	}
+}
+
+func TestUsesAndDestConsistency(t *testing.T) {
+	// Every register reported by Uses must be a plausible field, and
+	// HasDest must agree with Dest.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		in := randomInstruction(r)
+		uses, n := in.Uses()
+		for k := 0; k < n; k++ {
+			if uses[k] >= NumRegs {
+				t.Fatalf("%v reports bogus use %d", in, uses[k])
+			}
+		}
+		d, ok := in.Dest()
+		if ok != (HasDest(in.Op) && in.Rd != ZeroReg) {
+			t.Fatalf("%v: Dest ok=%v inconsistent with HasDest", in, ok)
+		}
+		if ok && d != in.Rd {
+			t.Fatalf("%v: Dest = %v, want %v", in, d, in.Rd)
+		}
+	}
+}
+
+func TestZeroRegWritesDiscarded(t *testing.T) {
+	in := Instruction{Op: OpADD, Rd: ZeroReg, Ra: 1, Rb: 2}
+	if _, ok := in.Dest(); ok {
+		t.Error("write to rz reported as a destination")
+	}
+}
+
+func TestOpcodeSets(t *testing.T) {
+	paper := PaperOpcodeSet()
+	// §4.3: MUL stays 64-bit only; ADD has all four widths; SUB has no
+	// halfword form.
+	if paper.Supports(ClassMul, W8) || paper.Supports(ClassMul, W32) {
+		t.Error("paper set must not encode narrow MUL")
+	}
+	for _, w := range Widths {
+		if !paper.Supports(ClassAdd, w) {
+			t.Errorf("paper set missing ADD at %v", w)
+		}
+	}
+	if paper.Supports(ClassSub, W16) {
+		t.Error("paper set must not encode halfword SUB")
+	}
+	// Narrowest falls back to the next wider encodable width.
+	if got := paper.Narrowest(ClassSub, W16); got != W32 {
+		t.Errorf("Narrowest(SUB, h) = %v, want w", got)
+	}
+	if got := paper.Narrowest(ClassMul, W8); got != W64 {
+		t.Errorf("Narrowest(MUL, b) = %v, want q", got)
+	}
+
+	full := FullOpcodeSet()
+	base := BaseOpcodeSet()
+	for _, w := range Widths {
+		if !full.Supports(ClassMul, w) {
+			t.Errorf("full set missing MUL at %v", w)
+		}
+	}
+	if base.Supports(ClassAdd, W8) {
+		t.Error("base set must not encode narrow ADD")
+	}
+	if !base.Supports(ClassLoad, W8) {
+		t.Error("base set must keep byte loads (they exist in the Alpha ISA)")
+	}
+}
+
+func TestWidthPropertyQuick(t *testing.T) {
+	// Bits and Bytes are consistent.
+	f := func(i uint8) bool {
+		w := Widths[int(i)%4]
+		return w.Bits() == w.Bytes()*8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package objfile defines the OG64 object format: a self-contained binary
+// container for a program image — encoded instructions, the function
+// table, the data segment, and the symbol table. It is what makes the
+// binary-optimizer story complete: ogasm emits object files, ogopt and
+// ogsim consume them, and a static binary translator (the paper's second
+// deployment route, §1) round-trips programs without assembly text.
+//
+// Layout (all little-endian):
+//
+//	magic   "OG64" (4 bytes)
+//	version u32
+//	entry   u32                    index into the function table
+//	dataBase, memSize  u64
+//	nIns    u32, then nIns × u64   encoded instructions
+//	nFuncs  u32, then per function: nameLen u16, name, start u32, end u32
+//	nSyms   u32, then per symbol:  nameLen u16, name, index u32
+//	nData   u32, then raw data segment bytes
+package objfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+var magic = [4]byte{'O', 'G', '6', '4'}
+
+// Version of the object format.
+const Version = 1
+
+// Write serialises the program to w.
+func Write(w io.Writer, p *prog.Program) error {
+	words, err := isa.EncodeProgram(p.Ins)
+	if err != nil {
+		return fmt.Errorf("objfile: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	le := binary.LittleEndian
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		le.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	writeU64 := func(v uint64) {
+		var b [8]byte
+		le.PutUint64(b[:], v)
+		buf.Write(b[:])
+	}
+	writeStr := func(s string) error {
+		if len(s) > 1<<16-1 {
+			return fmt.Errorf("objfile: name %q too long", s)
+		}
+		var b [2]byte
+		le.PutUint16(b[:], uint16(len(s)))
+		buf.Write(b[:])
+		buf.WriteString(s)
+		return nil
+	}
+
+	writeU32(Version)
+	writeU32(uint32(p.Entry))
+	writeU64(uint64(p.DataBase))
+	writeU64(uint64(p.MemSize))
+
+	writeU32(uint32(len(words)))
+	for _, wd := range words {
+		writeU64(wd)
+	}
+
+	writeU32(uint32(len(p.Funcs)))
+	for _, f := range p.Funcs {
+		if err := writeStr(f.Name); err != nil {
+			return err
+		}
+		writeU32(uint32(f.Start))
+		writeU32(uint32(f.End))
+	}
+
+	// Symbols, in sorted order for determinism.
+	names := make([]string, 0, len(p.Labels))
+	for n := range p.Labels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	writeU32(uint32(len(names)))
+	for _, n := range names {
+		if err := writeStr(n); err != nil {
+			return err
+		}
+		writeU32(uint32(p.Labels[n]))
+	}
+
+	writeU32(uint32(len(p.Data)))
+	buf.Write(p.Data)
+
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// WriteFile serialises the program to a file.
+func WriteFile(path string, p *prog.Program) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Write(f, p)
+}
+
+// Read deserialises a program image and runs structural analysis on it.
+func Read(r io.Reader) (*prog.Program, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	d := &decoder{raw: raw}
+	var m [4]byte
+	d.bytes(m[:])
+	if m != magic {
+		return nil, fmt.Errorf("objfile: bad magic %q", m)
+	}
+	if v := d.u32(); v != Version {
+		return nil, fmt.Errorf("objfile: unsupported version %d", v)
+	}
+	p := &prog.Program{Labels: map[string]int{}}
+	p.Entry = int(d.u32())
+	p.DataBase = int64(d.u64())
+	p.MemSize = int64(d.u64())
+
+	nIns := int(d.u32())
+	if nIns < 0 || nIns > 1<<24 {
+		return nil, fmt.Errorf("objfile: implausible instruction count %d", nIns)
+	}
+	words := make([]uint64, nIns)
+	for i := range words {
+		words[i] = d.u64()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	ins, err := isa.DecodeProgram(words)
+	if err != nil {
+		return nil, fmt.Errorf("objfile: %w", err)
+	}
+	p.Ins = ins
+
+	nFuncs := int(d.u32())
+	for i := 0; i < nFuncs; i++ {
+		name := d.str()
+		start := int(d.u32())
+		end := int(d.u32())
+		p.Funcs = append(p.Funcs, &prog.Func{Name: name, Index: i, Start: start, End: end})
+	}
+
+	nSyms := int(d.u32())
+	for i := 0; i < nSyms; i++ {
+		name := d.str()
+		p.Labels[name] = int(d.u32())
+	}
+
+	nData := int(d.u32())
+	if nData >= 0 && nData <= d.remaining() {
+		p.Data = make([]byte, nData)
+		d.bytes(p.Data)
+	} else if d.err == nil {
+		d.err = fmt.Errorf("objfile: truncated data segment")
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("objfile: invalid image: %w", err)
+	}
+	if err := p.Analyze(); err != nil {
+		return nil, fmt.Errorf("objfile: analysis: %w", err)
+	}
+	return p, nil
+}
+
+// ReadFile loads a program image from a file.
+func ReadFile(path string) (*prog.Program, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// decoder is a bounds-checked little-endian reader.
+type decoder struct {
+	raw []byte
+	off int
+	err error
+}
+
+func (d *decoder) remaining() int { return len(d.raw) - d.off }
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.raw) {
+		d.err = fmt.Errorf("objfile: truncated at offset %d (need %d bytes)", d.off, n)
+		return false
+	}
+	return true
+}
+
+func (d *decoder) bytes(dst []byte) {
+	if !d.need(len(dst)) {
+		return
+	}
+	copy(dst, d.raw[d.off:])
+	d.off += len(dst)
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.raw[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.raw[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) str() string {
+	if !d.need(2) {
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint16(d.raw[d.off:]))
+	d.off += 2
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.raw[d.off : d.off+n])
+	d.off += n
+	return s
+}

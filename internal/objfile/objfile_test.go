@@ -1,0 +1,123 @@
+package objfile
+
+import (
+	"bytes"
+	"testing"
+
+	"opgate/internal/emu"
+	"opgate/internal/vrp"
+	"opgate/internal/workload"
+)
+
+// TestRoundTripAllWorkloads: every kernel survives serialise → deserialise
+// with identical behaviour.
+func TestRoundTripAllWorkloads(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Build(workload.Train)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := Write(&buf, p); err != nil {
+				t.Fatal(err)
+			}
+			q, err := Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(q.Ins) != len(p.Ins) || len(q.Funcs) != len(p.Funcs) {
+				t.Fatalf("structure changed: %d/%d ins, %d/%d funcs",
+					len(q.Ins), len(p.Ins), len(q.Funcs), len(p.Funcs))
+			}
+			if err := emu.CheckEquivalence(p, q); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBinaryTranslationFlow: the paper's static-binary-translation route —
+// load an image, run VRP, emit a re-encoded image — without any assembly
+// text in the loop.
+func TestBinaryTranslationFlow(t *testing.T) {
+	w, _ := workload.ByName("ijpeg")
+	p, err := w.Build(workload.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in bytes.Buffer
+	if err := Write(&in, p); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := vrp.Analyze(loaded, vrp.Options{Mode: vrp.Useful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized := r.Apply()
+	var out bytes.Buffer
+	if err := Write(&out, optimized); err != nil {
+		t.Fatal(err)
+	}
+	final, err := Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emu.CheckEquivalence(p, final); err != nil {
+		t.Fatal(err)
+	}
+	// The translated image actually carries the narrow opcodes.
+	narrow := 0
+	for i := range final.Ins {
+		if final.Ins[i].Width < p.Ins[i].Width {
+			narrow++
+		}
+	}
+	if narrow == 0 {
+		t.Error("translated image carries no narrowed opcodes")
+	}
+}
+
+func TestCorruptImagesRejected(t *testing.T) {
+	w, _ := workload.ByName("perl")
+	p, _ := w.Build(workload.Train)
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOPE"), good[4:]...),
+		"truncated":   good[:len(good)/2],
+		"version":     append(append([]byte{}, good[:4]...), 0xFF, 0xFF, 0xFF, 0xFF),
+		"short magic": good[:3],
+	}
+	for name, img := range cases {
+		if _, err := Read(bytes.NewReader(img)); err == nil {
+			t.Errorf("%s image accepted", name)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	w, _ := workload.ByName("compress")
+	p, _ := w.Build(workload.Train)
+	path := t.TempDir() + "/prog.og64"
+	if err := WriteFile(path, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emu.CheckEquivalence(p, q); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package prog
+
+import (
+	"opgate/internal/isa"
+)
+
+// Def-use analysis at the register level within one function, via classic
+// reaching definitions over basic blocks. Definitions are (instruction
+// index, register) pairs; JSR kills the caller-saved state conservatively
+// (return and argument registers may be rewritten by the callee).
+
+// DefUse holds reaching-definition chains for one function.
+type DefUse struct {
+	Fn *Func
+	// UD maps an instruction's operand use to its reaching definitions:
+	// UD[insIdx][reg] = sorted list of defining instruction indices, where
+	// -1 denotes "live-in to the function" (argument or unknown).
+	UD map[int]map[isa.Reg][]int
+	// DU maps a defining instruction to the instructions using its value:
+	// DU[defIdx] = sorted list of using instruction indices.
+	DU map[int][]int
+}
+
+// callClobbered lists registers conservatively rewritten by a call.
+var callClobbered = func() []isa.Reg {
+	regs := []isa.Reg{RegRet, RegLink}
+	for r := RegArg0; r <= RegArg5; r++ {
+		regs = append(regs, r)
+	}
+	// r1..r8 are caller-saved temporaries in this convention.
+	for r := isa.Reg(1); r <= 8; r++ {
+		regs = append(regs, r)
+	}
+	return regs
+}()
+
+// CallClobbered exposes the caller-saved register list (used by VRP to
+// invalidate ranges across calls).
+func CallClobbered() []isa.Reg { return callClobbered }
+
+// calleeVisible lists registers a callee may legitimately read: arguments,
+// the stack and global pointers, and every callee-saved register (which the
+// callee may spill — a full-width observation). The demand analysis treats
+// a JSR as a full-width pseudo-use of these, so values flowing into calls
+// are never narrowed below their significant bytes.
+var calleeVisible = func() []isa.Reg {
+	regs := []isa.Reg{RegSP, RegGP}
+	for r := RegArg0; r <= RegArg5; r++ {
+		regs = append(regs, r)
+	}
+	for r := isa.Reg(9); r <= 15; r++ {
+		regs = append(regs, r)
+	}
+	for r := isa.Reg(22); r <= 25; r++ {
+		regs = append(regs, r)
+	}
+	regs = append(regs, isa.Reg(27), isa.Reg(28))
+	return regs
+}()
+
+// returnVisible lists registers a caller may read after this function
+// returns: the return value, the preserved callee-saved set, and the stack
+// and global pointers. RET is a full-width pseudo-use of these.
+var returnVisible = func() []isa.Reg {
+	regs := []isa.Reg{RegRet, RegSP, RegGP}
+	for r := isa.Reg(9); r <= 15; r++ {
+		regs = append(regs, r)
+	}
+	for r := isa.Reg(22); r <= 25; r++ {
+		regs = append(regs, r)
+	}
+	regs = append(regs, isa.Reg(27), isa.Reg(28))
+	return regs
+}()
+
+// PseudoUses returns the registers conservatively read by control-transfer
+// instructions beyond their explicit operands.
+func PseudoUses(op isa.Op) []isa.Reg {
+	switch op {
+	case isa.OpJSR:
+		return calleeVisible
+	case isa.OpRET:
+		return returnVisible
+	}
+	return nil
+}
+
+// BuildDefUse computes use-def and def-use chains for f.
+func BuildDefUse(p *Program, f *Func) *DefUse {
+	du := &DefUse{
+		Fn: f,
+		UD: make(map[int]map[isa.Reg][]int),
+		DU: make(map[int][]int),
+	}
+
+	// in[b][reg] = set of reaching def indices (-1 for live-in).
+	type defset map[int]bool
+	in := make([]map[isa.Reg]defset, len(f.Blocks))
+	out := make([]map[isa.Reg]defset, len(f.Blocks))
+	for i := range in {
+		in[i] = make(map[isa.Reg]defset)
+		out[i] = make(map[isa.Reg]defset)
+	}
+	// Entry block: every register live-in.
+	entryIn := in[0]
+	for r := 0; r < isa.NumRegs; r++ {
+		entryIn[isa.Reg(r)] = defset{-1: true}
+	}
+
+	transfer := func(b *Block, state map[isa.Reg]defset) map[isa.Reg]defset {
+		cur := make(map[isa.Reg]defset, len(state))
+		for r, s := range state {
+			cur[r] = s
+		}
+		for i := b.Start; i < b.End; i++ {
+			ins := &p.Ins[i]
+			if ins.Op == isa.OpJSR {
+				for _, r := range callClobbered {
+					cur[r] = defset{i: true}
+				}
+				continue
+			}
+			if d, ok := ins.Dest(); ok {
+				cur[d] = defset{i: true}
+			}
+		}
+		return cur
+	}
+
+	eqState := func(a, b map[isa.Reg]defset) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for r, sa := range a {
+			sb, ok := b[r]
+			if !ok || len(sa) != len(sb) {
+				return false
+			}
+			for d := range sa {
+				if !sb[d] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	rpo := f.RPOBlocks()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			// Meet: union of predecessor outs (entry keeps live-ins).
+			merged := make(map[isa.Reg]defset)
+			if b == f.Blocks[0] {
+				for r, s := range entryIn {
+					cp := make(defset, len(s))
+					for d := range s {
+						cp[d] = true
+					}
+					merged[r] = cp
+				}
+			}
+			for _, pred := range b.Preds {
+				for r, s := range out[pred.ID] {
+					dst := merged[r]
+					if dst == nil {
+						dst = make(defset, len(s))
+						merged[r] = dst
+					}
+					for d := range s {
+						dst[d] = true
+					}
+				}
+			}
+			if !eqState(merged, in[b.ID]) {
+				in[b.ID] = merged
+				changed = true
+			}
+			newOut := transfer(b, in[b.ID])
+			if !eqState(newOut, out[b.ID]) {
+				out[b.ID] = newOut
+				changed = true
+			}
+		}
+	}
+
+	// Second pass: walk each block recording UD/DU.
+	for _, b := range f.Blocks {
+		cur := make(map[isa.Reg]defset, len(in[b.ID]))
+		for r, s := range in[b.ID] {
+			cur[r] = s
+		}
+		for i := b.Start; i < b.End; i++ {
+			ins := &p.Ins[i]
+			record := func(r isa.Reg) {
+				if r == isa.ZeroReg {
+					return
+				}
+				if du.UD[i] != nil {
+					if _, done := du.UD[i][r]; done {
+						return
+					}
+				}
+				defs := cur[r]
+				if du.UD[i] == nil {
+					du.UD[i] = make(map[isa.Reg][]int)
+				}
+				var list []int
+				for d := range defs {
+					list = append(list, d)
+					if d >= 0 {
+						du.DU[d] = append(du.DU[d], i)
+					}
+				}
+				sortInts(list)
+				du.UD[i][r] = list
+			}
+			uses, n := ins.Uses()
+			for k := 0; k < n; k++ {
+				record(uses[k])
+			}
+			for _, r := range PseudoUses(ins.Op) {
+				record(r)
+			}
+			if ins.Op == isa.OpJSR {
+				for _, r := range callClobbered {
+					cur[r] = defset{i: true}
+				}
+				continue
+			}
+			if d, ok := ins.Dest(); ok {
+				cur[d] = defset{i: true}
+			}
+		}
+	}
+	for d := range du.DU {
+		sortInts(du.DU[d])
+	}
+	return du
+}
+
+// Uses returns the instructions consuming the value defined at defIdx
+// (the paper's Uses(I, r)).
+func (du *DefUse) Uses(defIdx int) []int { return du.DU[defIdx] }
+
+// ReachingDefs returns the definitions reaching the use of reg at insIdx.
+func (du *DefUse) ReachingDefs(insIdx int, reg isa.Reg) []int {
+	m := du.UD[insIdx]
+	if m == nil {
+		return nil
+	}
+	return m[reg]
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package prog
+
+// Dominator computation using the Cooper–Harvey–Kennedy iterative
+// algorithm over reverse postorder. Runs per function; results land in
+// Block.IDom (the entry block's IDom is itself).
+
+func buildDominators(f *Func) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	rpo := f.RPOBlocks()
+	entry := f.Blocks[0]
+	for _, b := range f.Blocks {
+		b.IDom = nil
+	}
+	entry.IDom = entry
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for a.RPO > b.RPO {
+				a = a.IDom
+			}
+			for b.RPO > a.RPO {
+				b = b.IDom
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIDom *Block
+			for _, pred := range b.Preds {
+				if pred.IDom == nil {
+					continue // not yet reachable
+				}
+				if newIDom == nil {
+					newIDom = pred
+				} else {
+					newIDom = intersect(pred, newIDom)
+				}
+			}
+			if newIDom != nil && b.IDom != newIDom {
+				b.IDom = newIDom
+				changed = true
+			}
+		}
+	}
+}
+
+// Dominates reports whether a dominates b (reflexive).
+func Dominates(a, b *Block) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b.IDom == nil || b.IDom == b {
+			return false
+		}
+		b = b.IDom
+	}
+}

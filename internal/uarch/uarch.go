@@ -1,0 +1,396 @@
+// Package uarch is the trace-driven out-of-order processor model of
+// Table 2. The functional emulator (internal/emu) supplies the retired
+// instruction stream; this model replays it through fetch, rename,
+// a 64-entry instruction window, functional units, a load/store queue and
+// the cache hierarchy, producing a cycle count and per-structure energy via
+// the operand-gated power model (internal/power).
+//
+// This is the classic sim-outorder decomposition: timing is modelled on
+// the architecturally correct path, with branch mispredictions charged as
+// fetch redirect bubbles plus wrong-path activity energy.
+package uarch
+
+import (
+	"opgate/internal/bpred"
+	"opgate/internal/cache"
+	"opgate/internal/emu"
+	"opgate/internal/isa"
+	"opgate/internal/power"
+	"opgate/internal/prog"
+)
+
+// Config mirrors Table 2.
+type Config struct {
+	FetchWidth      int
+	DecodeWidth     int
+	IssueWidth      int
+	RetireWidth     int
+	WindowSize      int // max in-flight instructions
+	PhysRegs        int
+	IntALUs         int
+	IntMulDiv       int
+	FrontendDepth   int // fetch→dispatch stages
+	RedirectPenalty int
+	// InstrBytes is the size of one instruction in the I-cache (OG64
+	// encodes to 8 bytes).
+	InstrBytes int
+	// WrongPathFactor scales the wasted front-end activity charged per
+	// mispredict (fraction of a full fetch-to-dispatch refill).
+	WrongPathFactor float64
+	// SignExtendToCache selects the paper's §2.4 memory approach (2):
+	// no size tags in the cache; values sign-extend to full width.
+	SignExtendToCache bool
+
+	Predictor bpred.Config
+	Memory    cache.HierarchyConfig
+}
+
+// DefaultConfig returns the paper's machine parameters.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:      4,
+		DecodeWidth:     4,
+		IssueWidth:      4,
+		RetireWidth:     4,
+		WindowSize:      64,
+		PhysRegs:        96,
+		IntALUs:         3,
+		IntMulDiv:       1,
+		FrontendDepth:   4,
+		RedirectPenalty: 2,
+		InstrBytes:      8,
+		WrongPathFactor: 0.5,
+		Predictor:       bpred.DefaultConfig(),
+		Memory:          cache.DefaultHierarchyConfig(),
+	}
+}
+
+// Result summarises one simulation.
+type Result struct {
+	Cycles         int64
+	Instructions   int64
+	Energy         *power.Meter
+	BranchMissRate float64
+	L1DMissRate    float64
+	L1IMissRate    float64
+	IPC            float64
+}
+
+// Sim consumes a retirement trace and produces timing + energy.
+type Sim struct {
+	cfg   Config
+	meter *power.Meter
+	pred  *bpred.Predictor
+	hier  *cache.Hierarchy
+
+	regReady        [isa.NumRegs]int64 // cycle each architectural value is ready
+	fetchCycle      int64
+	fetchedInCycle  int
+	lastFetchLine   int64
+	pendingRedirect int64 // earliest fetch cycle after a mispredict
+
+	// Issue-bandwidth ring: issued[c % ringSize] counts issues in cycle
+	// c; epochs detect stale slots.
+	issued     []int8
+	issueEpoch []int64
+
+	// Free-window tracking: retire cycles of the last WindowSize
+	// instructions, as a ring.
+	windowRing []int64
+	windowPos  int
+
+	// Physical-register tracking: completion cycles of the last
+	// (PhysRegs - NumRegs) register-writing instructions.
+	physRing []int64
+	physPos  int
+
+	// FU next-free cycles.
+	aluFree []int64
+	mulFree []int64
+
+	lastRetire     int64
+	retiredInCycle int
+	retired        int64
+}
+
+const ringSize = 1 << 14
+
+// New builds a simulator with the given gating mode and power parameters.
+func New(cfg Config, params power.Params, mode power.GatingMode) (*Sim, error) {
+	hier, err := cache.NewHierarchy(cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+	meter := power.NewMeter(params, mode)
+	meter.SignExtendToCache = cfg.SignExtendToCache
+	return &Sim{
+		cfg:           cfg,
+		meter:         meter,
+		pred:          bpred.New(cfg.Predictor),
+		hier:          hier,
+		issued:        make([]int8, ringSize),
+		issueEpoch:    make([]int64, ringSize),
+		windowRing:    make([]int64, cfg.WindowSize),
+		physRing:      make([]int64, maxInt(1, cfg.PhysRegs-isa.NumRegs)),
+		aluFree:       make([]int64, cfg.IntALUs),
+		mulFree:       make([]int64, cfg.IntMulDiv),
+		lastFetchLine: -1,
+	}, nil
+}
+
+// Run executes the program to completion under the simulator and returns
+// timing and energy results.
+func Run(p *prog.Program, cfg Config, params power.Params, mode power.GatingMode) (*Result, error) {
+	s, err := New(cfg, params, mode)
+	if err != nil {
+		return nil, err
+	}
+	m := emu.New(p)
+	m.Trace = s.Consume
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	return s.Finish(), nil
+}
+
+// Consume advances the pipeline model by one retired instruction.
+func (s *Sim) Consume(ev emu.Event) {
+	cfg := &s.cfg
+	in := ev.Ins
+	s.retired++
+
+	// --- Fetch ---------------------------------------------------------
+	if s.pendingRedirect > s.fetchCycle {
+		s.fetchCycle = s.pendingRedirect
+		s.fetchedInCycle = 0
+		s.lastFetchLine = -1
+	}
+	if s.fetchedInCycle >= cfg.FetchWidth {
+		s.fetchCycle++
+		s.fetchedInCycle = 0
+	}
+	// The I-cache is read on every fetch (the line-buffer hit path is
+	// folded into the per-access fixed cost); misses are modelled when
+	// the fetch group crosses into a new line.
+	s.meter.AccessFixed(power.ICache)
+	line := int64(ev.Idx) * int64(cfg.InstrBytes) / int64(s.hier.L1I.Config().LineBytes)
+	if line != s.lastFetchLine {
+		lat, l2 := s.hier.InstrAccess(int64(ev.Idx) * int64(cfg.InstrBytes))
+		if l2 {
+			s.meter.AccessFixed(power.L2Cache)
+		}
+		if lat > s.hier.L1I.Config().HitCycles {
+			s.fetchCycle += int64(lat - s.hier.L1I.Config().HitCycles)
+			s.fetchedInCycle = 0
+		}
+		s.lastFetchLine = line
+	}
+	s.fetchedInCycle++
+	fetch := s.fetchCycle
+
+	// --- Rename / dispatch ----------------------------------------------
+	s.meter.AccessFixed(power.Rename)
+	dispatch := fetch + int64(cfg.FrontendDepth)
+	// Window occupancy: cannot dispatch until the instruction
+	// WindowSize back has retired.
+	if w := s.windowRing[s.windowPos]; dispatch <= w {
+		dispatch = w + 1
+	}
+	// Physical registers: a writer needs a free register, available when
+	// the (PhysRegs-NumRegs)-back writer retired.
+	_, writes := in.Dest()
+	if in.Op == isa.OpJSR {
+		writes = true
+	}
+	if writes {
+		if w := s.physRing[s.physPos]; dispatch <= w {
+			dispatch = w + 1
+		}
+	}
+
+	// --- Operand readiness ----------------------------------------------
+	ready := dispatch + 1
+	uses, n := in.Uses()
+	for k := 0; k < n; k++ {
+		r := uses[k]
+		if r == isa.ZeroReg {
+			continue
+		}
+		if t := s.regReady[r]; t > ready {
+			ready = t
+		}
+	}
+
+	// --- Issue ------------------------------------------------------------
+	var fu []int64
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassMul:
+		fu = s.mulFree
+	case isa.ClassBranch, isa.ClassOther, isa.ClassNone:
+		fu = nil // branches/halt resolve on an ALU port too
+		fu = s.aluFree
+	default:
+		fu = s.aluFree
+	}
+	issue := ready
+	// Find an FU and an issue slot.
+	for {
+		// FU availability.
+		best := -1
+		for i := range fu {
+			if fu[i] <= issue && (best < 0 || fu[i] < fu[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			// Earliest any unit frees.
+			min := fu[0]
+			for _, t := range fu[1:] {
+				if t < min {
+					min = t
+				}
+			}
+			issue = min
+			continue
+		}
+		// Issue bandwidth.
+		slot := issue % ringSize
+		if s.issueEpoch[slot] != issue {
+			s.issueEpoch[slot] = issue
+			s.issued[slot] = 0
+		}
+		if int(s.issued[slot]) >= cfg.IssueWidth {
+			issue++
+			continue
+		}
+		s.issued[slot]++
+		lat := int64(isa.Latency(in.Op))
+		fu[best] = issue + lat
+		break
+	}
+
+	// --- Execute / memory -------------------------------------------------
+	done := issue + int64(isa.Latency(in.Op))
+	if isa.IsMem(in.Op) {
+		lat, l2 := s.hier.DataAccess(ev.Addr, in.Op == isa.OpST)
+		done = issue + int64(lat)
+		// LSQ: address CAM plus data movement.
+		s.meter.AccessBytes(power.LSQ, power.ActiveBytes(s.meter.Mode, 8, ev.Addr))
+		s.meter.AccessValue(power.LSQ, in.Width.Bytes(), ev.Value)
+		s.meter.AccessCacheValue(power.DCache, in.Width.Bytes(), ev.Value)
+		if l2 {
+			s.meter.AccessFixed(power.L2Cache)
+		}
+	}
+
+	// --- Energy: window, operands, execution ------------------------------
+	w := in.Width.Bytes()
+	s.meter.AccessValue(power.IQ, w, wider(ev.SrcA, ev.SrcB))
+	s.meter.AccessFixed(power.ROB)
+	for k := 0; k < n; k++ {
+		if uses[k] == isa.ZeroReg {
+			continue
+		}
+		v := ev.SrcA
+		if k == 1 {
+			v = ev.SrcB
+		}
+		s.meter.AccessValue(power.RegFile, w, v)
+	}
+	if _, ok := in.Dest(); ok || in.Op == isa.OpJSR {
+		s.meter.AccessValue(power.RegFile, w, ev.Value)
+		s.meter.AccessValue(power.RenameBuf, w, ev.Value)
+		s.meter.AccessValue(power.ResultBus, w, ev.Value)
+	}
+	if class := isa.ClassOf(in.Op); class != isa.ClassBranch && class != isa.ClassNone &&
+		class != isa.ClassLoad && class != isa.ClassStore && in.Op != isa.OpHALT {
+		s.meter.AccessValue(power.FU, w, wider(ev.SrcA, ev.SrcB))
+	}
+
+	// --- Branch resolution -------------------------------------------------
+	if isa.IsBranch(in.Op) {
+		s.meter.AccessFixed(power.BPred)
+		miss := false
+		switch {
+		case isa.IsCondBranch(in.Op):
+			s.pred.Predict(ev.Idx)
+			miss = s.pred.Update(ev.Idx, ev.Taken)
+		case in.Op == isa.OpJSR:
+			s.pred.Call(ev.Idx + 1)
+		case in.Op == isa.OpRET:
+			miss = s.pred.Return(ev.Next)
+		}
+		if miss {
+			s.pendingRedirect = done + int64(s.cfg.RedirectPenalty)
+			// Wrong-path energy: wasted front-end work.
+			waste := s.cfg.WrongPathFactor * float64(cfg.FetchWidth*cfg.FrontendDepth)
+			for i := 0; i < int(waste); i++ {
+				s.meter.AccessFixed(power.ICache)
+				s.meter.AccessFixed(power.Rename)
+			}
+		}
+	}
+
+	// --- Writeback ----------------------------------------------------------
+	if d, ok := in.Dest(); ok {
+		s.regReady[d] = done
+	}
+	if in.Op == isa.OpJSR && in.Rd != isa.ZeroReg {
+		s.regReady[in.Rd] = done
+	}
+
+	// --- Retire (in order) ---------------------------------------------------
+	retire := done + 1
+	if retire < s.lastRetire {
+		retire = s.lastRetire
+	}
+	if retire == s.lastRetire {
+		s.retiredInCycle++
+		if s.retiredInCycle >= cfg.RetireWidth {
+			retire++
+			s.retiredInCycle = 0
+		}
+	} else {
+		s.retiredInCycle = 1
+	}
+	s.lastRetire = retire
+	s.windowRing[s.windowPos] = retire
+	s.windowPos = (s.windowPos + 1) % len(s.windowRing)
+	if writes {
+		s.physRing[s.physPos] = retire
+		s.physPos = (s.physPos + 1) % len(s.physRing)
+	}
+}
+
+// Finish closes the simulation and returns results.
+func (s *Sim) Finish() *Result {
+	cycles := s.lastRetire + 1
+	s.meter.Tick(cycles)
+	ipc := 0.0
+	if cycles > 0 {
+		ipc = float64(s.retired) / float64(cycles)
+	}
+	return &Result{
+		Cycles:         cycles,
+		Instructions:   s.retired,
+		Energy:         s.meter,
+		BranchMissRate: s.pred.MissRate(),
+		L1DMissRate:    s.hier.L1D.MissRate(),
+		L1IMissRate:    s.hier.L1I.MissRate(),
+		IPC:            ipc,
+	}
+}
+
+func wider(a, b int64) int64 {
+	if power.SignificantBytes(a) >= power.SignificantBytes(b) {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,269 @@
+package uarch_test
+
+import (
+	"testing"
+
+	"opgate/internal/asm"
+	"opgate/internal/power"
+	"opgate/internal/prog"
+	"opgate/internal/uarch"
+	"opgate/internal/workload"
+)
+
+func buildLoop(t *testing.T, body string, n int) *prog.Program {
+	t.Helper()
+	src := `
+.func main
+	lda r1, 0(rz)
+loop:
+` + body + `
+	add r1, r1, #1
+	cmplt r9, r1, #` + itoa(n) + `
+	bne r9, loop
+	halt
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func simulate(t *testing.T, p *prog.Program, mode power.GatingMode) *uarch.Result {
+	t.Helper()
+	r, err := uarch.Run(p, uarch.DefaultConfig(), power.DefaultParams(), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestIPCBounds(t *testing.T) {
+	p := buildLoop(t, "\tadd r2, r2, #1\n\tadd r3, r3, #1\n", 5000)
+	r := simulate(t, p, power.GateNone)
+	if r.IPC <= 0.3 || r.IPC > 4.0 {
+		t.Errorf("IPC %.2f outside sane bounds for a 4-wide machine", r.IPC)
+	}
+	if r.Instructions < 5000 {
+		t.Errorf("retired only %d instructions", r.Instructions)
+	}
+}
+
+// TestSerialDependencyLimitsIPC: a pointer-chase-style serial chain cannot
+// exceed 1 op per cycle through the dependent chain.
+func TestSerialDependencyLimitsIPC(t *testing.T) {
+	serial := buildLoop(t, "\tadd r2, r2, #1\n\tadd r2, r2, #1\n\tadd r2, r2, #1\n\tadd r2, r2, #1\n", 3000)
+	parallel := buildLoop(t, "\tadd r2, r2, #1\n\tadd r3, r3, #1\n\tadd r4, r4, #1\n\tadd r5, r5, #1\n", 3000)
+	rs := simulate(t, serial, power.GateNone)
+	rp := simulate(t, parallel, power.GateNone)
+	if rs.IPC >= rp.IPC {
+		t.Errorf("serial IPC %.2f not below parallel IPC %.2f", rs.IPC, rp.IPC)
+	}
+}
+
+// TestMulLatencyVisible: multiply-heavy chains run slower than add chains.
+func TestMulLatencyVisible(t *testing.T) {
+	adds := buildLoop(t, "\tadd r2, r2, #3\n", 3000)
+	muls := buildLoop(t, "\tmul r2, r2, #3\n\tand r2, r2, #4095\n", 3000)
+	ra := simulate(t, adds, power.GateNone)
+	rm := simulate(t, muls, power.GateNone)
+	cyclesPerIterAdd := float64(ra.Cycles) / 3000
+	cyclesPerIterMul := float64(rm.Cycles) / 3000
+	if cyclesPerIterMul <= cyclesPerIterAdd {
+		t.Errorf("mul loop %.2f cyc/iter not slower than add loop %.2f", cyclesPerIterMul, cyclesPerIterAdd)
+	}
+}
+
+// TestGatingModesEnergyOrdering: for the same program, baseline energy >=
+// software gating; hardware gating on narrow data beats baseline too.
+func TestGatingModesEnergyOrdering(t *testing.T) {
+	w, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Build(workload.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := simulate(t, p, power.GateNone)
+	hwSig := simulate(t, p, power.GateHWSignificance)
+	hwSize := simulate(t, p, power.GateHWSize)
+	if hwSig.Energy.Total() >= base.Energy.Total() {
+		t.Error("significance gating did not save energy")
+	}
+	if hwSize.Energy.Total() >= base.Energy.Total() {
+		t.Error("size gating did not save energy")
+	}
+	// Cycles are identical across gating modes (gating is energy-only).
+	if base.Cycles != hwSig.Cycles || base.Cycles != hwSize.Cycles {
+		t.Error("gating mode changed timing")
+	}
+}
+
+// TestDeterminism: identical runs produce identical results.
+func TestDeterminism(t *testing.T) {
+	w, _ := workload.ByName("perl")
+	p, _ := w.Build(workload.Train)
+	r1 := simulate(t, p, power.GateSoftware)
+	r2 := simulate(t, p, power.GateSoftware)
+	if r1.Cycles != r2.Cycles || r1.Energy.Total() != r2.Energy.Total() {
+		t.Error("simulation is not deterministic")
+	}
+}
+
+// TestBranchyCodeSlower: a data-dependent branchy loop has a worse IPC
+// than straight-line code of the same length (mispredict bubbles).
+func TestBranchyCodeSlower(t *testing.T) {
+	w, _ := workload.ByName("compress") // data-dependent scan loop
+	p, _ := w.Build(workload.Train)
+	r := simulate(t, p, power.GateNone)
+	if r.BranchMissRate <= 0 {
+		t.Error("compress has data-dependent branches; miss rate must be positive")
+	}
+	if r.BranchMissRate > 0.5 {
+		t.Errorf("miss rate %.2f implausibly high", r.BranchMissRate)
+	}
+}
+
+// TestCacheMissesVisible: a large-stride scan takes more cycles per access
+// than a dense scan.
+func TestCacheMissesVisible(t *testing.T) {
+	dense, err := asm.Assemble(`
+.data
+buf: .space 262144
+.text
+.func main
+	lda r1, =buf
+	lda r2, 0(rz)
+loop:
+	ld.q r3, 0(r1)
+	lda r1, 8(r1)
+	add r2, r2, #1
+	cmplt r4, r2, #4000
+	bne r4, loop
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := asm.Assemble(`
+.data
+buf: .space 2097152
+.text
+.func main
+	lda r1, =buf
+	lda r2, 0(rz)
+loop:
+	ld.q r3, 0(r1)
+	lda r1, 512(r1)
+	add r2, r2, #1
+	cmplt r4, r2, #4000
+	bne r4, loop
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := simulate(t, dense, power.GateNone)
+	rs := simulate(t, sparse, power.GateNone)
+	if rs.Cycles <= rd.Cycles {
+		t.Errorf("sparse scan (%d cycles) not slower than dense (%d)", rs.Cycles, rd.Cycles)
+	}
+	if rs.L1DMissRate <= rd.L1DMissRate {
+		t.Errorf("sparse miss rate %.3f not above dense %.3f", rs.L1DMissRate, rd.L1DMissRate)
+	}
+}
+
+// TestWindowStall: an instruction window of 8 is slower than 64 on
+// memory-latency-bound code.
+func TestWindowStall(t *testing.T) {
+	p, err := asm.Assemble(`
+.data
+buf: .space 2097152
+.text
+.func main
+	lda r1, =buf
+	lda r2, 0(rz)
+loop:
+	ld.q r3, 0(r1)
+	add r4, r4, r3
+	lda r1, 512(r1)
+	add r2, r2, #1
+	cmplt r5, r2, #3000
+	bne r5, loop
+	halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := uarch.DefaultConfig()
+	small := uarch.DefaultConfig()
+	small.WindowSize = 8
+	rb, err := uarch.Run(p, big, power.DefaultParams(), power.GateNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsm, err := uarch.Run(p, small, power.DefaultParams(), power.GateNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsm.Cycles <= rb.Cycles {
+		t.Errorf("8-entry window (%d cycles) not slower than 64-entry (%d)", rsm.Cycles, rb.Cycles)
+	}
+}
+
+// TestSignExtendToCacheCostsEnergy measures §2.4's claim: carrying size
+// tags in the cache (approach 1, the default) saves more energy than
+// sign-extending values to full width before they enter it (approach 2).
+func TestSignExtendToCacheCostsEnergy(t *testing.T) {
+	w, _ := workload.ByName("compress")
+	p, _ := w.Build(workload.Train)
+	cfgTag := uarch.DefaultConfig()
+	cfgSext := uarch.DefaultConfig()
+	cfgSext.SignExtendToCache = true
+	tagged, err := uarch.Run(p, cfgTag, power.DefaultParams(), power.GateHWSignificance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sext, err := uarch.Run(p, cfgSext, power.DefaultParams(), power.GateHWSignificance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagged.Energy.Energy[power.DCache] >= sext.Energy.Energy[power.DCache] {
+		t.Errorf("tagged cache (%.0f) not cheaper than sign-extended cache (%.0f)",
+			tagged.Energy.Energy[power.DCache], sext.Energy.Energy[power.DCache])
+	}
+}
+
+// TestSimMatchesEmulatorCounts: the trace-driven model retires exactly the
+// instruction stream the functional emulator produces.
+func TestSimMatchesEmulatorCounts(t *testing.T) {
+	for _, name := range []string{"compress", "li", "vortex"} {
+		w, _ := workload.ByName(name)
+		p, _ := w.Build(workload.Train)
+		r := simulate(t, p, power.GateNone)
+		m, err := uarch.Run(p, uarch.DefaultConfig(), power.DefaultParams(), power.GateSoftware)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Instructions != m.Instructions {
+			t.Errorf("%s: instruction counts differ across modes: %d vs %d",
+				name, r.Instructions, m.Instructions)
+		}
+		if r.IPC <= 0 {
+			t.Errorf("%s: IPC %v", name, r.IPC)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package vrp
+
+import (
+	"math/rand"
+	"testing"
+
+	"opgate/internal/asm"
+	"opgate/internal/emu"
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// TestWrapAroundConservatism: §2.2.1 — when an addition can overflow, the
+// range must widen rather than wrap. A counter loop with an unanalysable
+// bound must not be narrowed below full width.
+func TestWrapAroundConservatism(t *testing.T) {
+	src := `
+.data
+n: .word 1000
+.text
+.func main
+	lda r1, =n
+	ld.q r2, 0(r1)    ; statically unknown bound
+	lda r3, 0(rz)
+loop:
+	add r3, r3, #255  ; can overflow if the loop runs long enough
+	sub r2, r2, #1
+	bne r2, loop
+	out.q r3
+	halt
+`
+	p := mustAssemble(t, src)
+	r, err := Analyze(p, Options{Mode: Useful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Ins {
+		in := &p.Ins[i]
+		if in.Op == isa.OpADD && in.Imm == 255 {
+			// Demanded fully by the OUT; range unknown: keep 64-bit.
+			if r.Width[i] != isa.W64 {
+				t.Errorf("overflowable add narrowed to %v", r.Width[i])
+			}
+		}
+	}
+	if err := emu.CheckEquivalence(p, r.Apply()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUsefulNeverThroughStore: memory is opaque (§2); a value stored wide
+// must not be narrowed below the store width even if reloaded narrow.
+func TestStoreWidthDemand(t *testing.T) {
+	src := `
+.data
+buf: .space 16
+.text
+.func main
+	lda r1, =buf
+	ld.q r2, 8(r1)    ; unknown
+	add r3, r2, #1    ; feeds a wide store: full demand
+	st.q r3, 0(r1)
+	ld.b r4, 0(r1)
+	out.b r4
+	halt
+`
+	p := mustAssemble(t, src)
+	r, err := Analyze(p, Options{Mode: Useful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Ins {
+		if p.Ins[i].Op == isa.OpADD {
+			if r.Demand[i] != 8 {
+				t.Errorf("add feeding st.q has demand %d, want 8", r.Demand[i])
+			}
+			if r.Width[i] != isa.W64 {
+				t.Errorf("add feeding st.q narrowed to %v", r.Width[i])
+			}
+		}
+	}
+}
+
+// TestStoreNarrowDemand: conversely a byte store demands one byte.
+func TestStoreNarrowDemand(t *testing.T) {
+	src := `
+.data
+buf: .space 16
+.text
+.func main
+	lda r1, =buf
+	ld.q r2, 8(r1)
+	add r3, r2, #1
+	st.b r3, 0(r1)
+	halt
+`
+	p := mustAssemble(t, src)
+	r, err := Analyze(p, Options{Mode: Useful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Ins {
+		if p.Ins[i].Op == isa.OpADD {
+			if r.Demand[i] != 1 {
+				t.Errorf("add feeding st.b has demand %d, want 1", r.Demand[i])
+			}
+			if r.Width[i] != isa.W8 {
+				t.Errorf("add feeding st.b = %v, want b", r.Width[i])
+			}
+		}
+	}
+	if err := emu.CheckEquivalence(p, r.Apply()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRightShiftInputConstraint: srl's low output bytes depend on high
+// input bytes, so it can only narrow when its input provably fits.
+func TestRightShiftInputConstraint(t *testing.T) {
+	src := `
+.data
+buf: .space 16
+.text
+.func main
+	lda r1, =buf
+	ld.q r2, 8(r1)    ; unknown wide value
+	srl r3, r2, #4
+	and r4, r3, #15
+	out.b r4
+	halt
+`
+	p := mustAssemble(t, src)
+	r, err := Analyze(p, Options{Mode: Useful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Ins {
+		if p.Ins[i].Op == isa.OpSRL {
+			if r.Width[i] != isa.W64 {
+				t.Errorf("srl of unknown value narrowed to %v", r.Width[i])
+			}
+		}
+	}
+	if err := emu.CheckEquivalence(p, r.Apply()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrMaskUsefulPropagation: §2.2.5's OR example — forcing the upper
+// bytes to ones means only the lower bytes of the input are useful.
+func TestOrMaskUsefulPropagation(t *testing.T) {
+	src := `
+.data
+buf: .space 16
+out: .space 8
+.text
+.func main
+	lda r1, =buf
+	ld.q r2, 8(r1)
+	add r3, r2, #77     ; only low 4 bytes useful after the OR
+	or r4, r3, #-4294967296   ; 0xFFFFFFFF00000000
+	lda r5, =out
+	st.q r4, 0(r5)
+	halt
+`
+	p := mustAssemble(t, src)
+	r, err := Analyze(p, Options{Mode: Useful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Ins {
+		if p.Ins[i].Op == isa.OpADD && p.Ins[i].Imm == 77 {
+			if r.Demand[i] != 4 {
+				t.Errorf("add demand %d, want 4 (OR forces the top half)", r.Demand[i])
+			}
+		}
+	}
+	if err := emu.CheckEquivalence(p, r.Apply()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAblationFlags: turning off loop analysis or branch refinement only
+// loses precision, never soundness.
+func TestAblationFlags(t *testing.T) {
+	p := mustAssemble(t, fig1Src)
+	full, err := Analyze(p, Options{Mode: Useful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noLoop, err := Analyze(p, Options{Mode: Useful, DisableLoopAnalysis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noRef, err := Analyze(p, Options{Mode: Useful, DisableBranchRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := full.StaticHistogram()
+	for _, r := range []*Result{noLoop, noRef} {
+		ha := r.StaticHistogram()
+		if ha.Count[3] < h.Count[3] {
+			t.Error("ablated analysis found MORE narrow instructions than the full one")
+		}
+		if err := emu.CheckEquivalence(p, r.Apply()); err != nil {
+			t.Fatalf("ablated analysis unsound: %v", err)
+		}
+	}
+	// With BOTH loop analysis and branch refinement off, the iterator
+	// range is unrecoverable and precision must drop. (Each alone can be
+	// compensated: threshold widening re-derives simple loop bounds from
+	// the comparison constants.)
+	noBoth, err := Analyze(p, Options{Mode: Useful,
+		DisableLoopAnalysis: true, DisableBranchRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emu.CheckEquivalence(p, noBoth.Apply()); err != nil {
+		t.Fatalf("fully ablated analysis unsound: %v", err)
+	}
+	if noBoth.StaticHistogram().Count[0] >= h.Count[0] {
+		t.Error("full ablation did not reduce byte-width instructions on Fig 1")
+	}
+}
+
+// TestRandomProgramsEquivalence: fuzz — generate random straight-line
+// integer programs, analyze, re-encode, and verify equivalence.
+func TestRandomProgramsEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	ops := []isa.Op{isa.OpADD, isa.OpSUB, isa.OpMUL, isa.OpAND, isa.OpOR,
+		isa.OpXOR, isa.OpBIC, isa.OpSLL, isa.OpSRL, isa.OpSRA,
+		isa.OpCMPEQ, isa.OpCMPLT, isa.OpCMPULE, isa.OpMSKL, isa.OpSEXT, isa.OpEXTB}
+	for trial := 0; trial < 60; trial++ {
+		b := asm.NewBuilder()
+		b.Func("main")
+		// Seed a few registers with random constants.
+		for reg := isa.Reg(1); reg <= 6; reg++ {
+			b.LoadImm(reg, int64(int32(r.Uint32())))
+		}
+		for k := 0; k < 40; k++ {
+			op := ops[r.Intn(len(ops))]
+			w := isa.Widths[r.Intn(4)]
+			rd := isa.Reg(1 + r.Intn(6))
+			ra := isa.Reg(1 + r.Intn(6))
+			rb := isa.Reg(1 + r.Intn(6))
+			switch op {
+			case isa.OpMSKL, isa.OpSEXT:
+				b.Emit(isa.Instruction{Op: op, Width: w, Rd: rd, Ra: ra})
+			case isa.OpEXTB:
+				b.OpI(op, w, rd, ra, int64(r.Intn(8)))
+			case isa.OpSLL, isa.OpSRL, isa.OpSRA:
+				if r.Intn(2) == 0 {
+					b.OpI(op, w, rd, ra, int64(r.Intn(64)))
+				} else {
+					b.Op3(op, w, rd, ra, rb)
+				}
+			default:
+				if r.Intn(3) == 0 {
+					b.OpI(op, w, rd, ra, int64(int32(r.Uint32())))
+				} else {
+					b.Op3(op, w, rd, ra, rb)
+				}
+			}
+		}
+		// Observe everything.
+		for reg := isa.Reg(1); reg <= 6; reg++ {
+			b.Out(isa.W64, reg)
+		}
+		b.Halt()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		for _, mode := range []Mode{Conventional, Useful} {
+			res, err := Analyze(p, Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("trial %d: analyze: %v", trial, err)
+			}
+			if err := emu.CheckEquivalence(p, res.Apply()); err != nil {
+				t.Fatalf("trial %d (%v): %v\nprogram:\n%s", trial, mode, err, asm.Disassemble(p))
+			}
+		}
+	}
+}
+
+// TestCalleeSavedPreserved: a value in a callee-saved register keeps its
+// range across a call (the interprocedural transfer's key assumption).
+func TestCalleeSavedPreserved(t *testing.T) {
+	src := `
+.func main
+	lda r9, 40(rz)      ; callee-saved
+	lda a0, 1(rz)
+	jsr f
+	add r2, r9, #2      ; r9 still [40,40]
+	out.b r2
+	halt
+.func f
+	add rv, a0, #1
+	ret
+`
+	p := mustAssemble(t, src)
+	r, err := Analyze(p, Options{Mode: Useful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addIdx = -1
+	for i := range p.Ins {
+		if p.Ins[i].Op == isa.OpADD && p.Ins[i].Imm == 2 {
+			addIdx = i
+		}
+	}
+	res := r.ResRange[addIdx]
+	if v, ok := res.IsConst(); !ok || v != 42 {
+		t.Errorf("range after call = %v, want <42,42>", res)
+	}
+	_ = prog.RegGP // document: GP is pinned, also preserved
+	if err := emu.CheckEquivalence(p, r.Apply()); err != nil {
+		t.Fatal(err)
+	}
+}

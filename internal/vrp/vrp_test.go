@@ -1,0 +1,275 @@
+package vrp
+
+import (
+	"testing"
+
+	"opgate/internal/asm"
+	"opgate/internal/emu"
+	"opgate/internal/interval"
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// fig1Program is the paper's Figure 1 example:
+//
+//	for (i=0; i<100; i++) { a[i] = i; }
+//
+// compiled the way the paper shows: a vector base, an index register, a
+// scaled address, a store, an increment, and a compare-and-branch.
+const fig1Src = `
+.data
+vec: .space 800
+.text
+.func main
+	lda r1, 0(rz)       ; a1 = 0  (the iterator)
+loop:
+	mul r3, r1, #8      ; a3 = a1*8
+	lda r2, =vec        ; a0 = @vec
+	add r2, r2, r3      ; a2 = a0 + a3
+	st.q r1, 0(r2)      ; mem[a2] = a1
+	add r1, r1, #1      ; a1 = a1 + 1
+	cmplt r4, r1, #100
+	bne r4, loop
+	halt
+`
+
+func mustAssemble(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestFigure1LoopRanges(t *testing.T) {
+	p := mustAssemble(t, fig1Src)
+	r, err := Analyze(p, Options{Mode: Useful})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+
+	// The iterator update "add r1, r1, #1" must be bounded by the loop
+	// trip count: r1 stays within [0, 100].
+	var updIdx = -1
+	for i := range p.Ins {
+		in := &p.Ins[i]
+		if in.Op == isa.OpADD && in.Rd == 1 && in.Ra == 1 && in.HasImm && in.Imm == 1 {
+			updIdx = i
+		}
+	}
+	if updIdx < 0 {
+		t.Fatalf("iterator update not found")
+	}
+	res := r.ResRange[updIdx]
+	if res.IsEmpty() || res.Lo < 0 || res.Hi > 100 {
+		t.Fatalf("iterator range = %v, want within [0,100]", res)
+	}
+
+	// The scaled index r3 = r1*8 must be bounded by 8*100.
+	for i := range p.Ins {
+		if p.Ins[i].Op == isa.OpMUL {
+			if got := r.ResRange[i]; got.IsEmpty() || got.Hi > 800 {
+				t.Errorf("mul result range = %v, want <= 800", got)
+			}
+		}
+	}
+
+	// Width assignment: the iterator add fits one byte... [0,100] needs
+	// 1 byte; the compare fits one byte as well.
+	if w := r.Width[updIdx]; w != isa.W8 {
+		t.Errorf("iterator add width = %v, want b", w)
+	}
+}
+
+func TestFigure1Equivalence(t *testing.T) {
+	p := mustAssemble(t, fig1Src)
+	for _, mode := range []Mode{Conventional, Useful} {
+		r, err := Analyze(p, Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("analyze(%v): %v", mode, err)
+		}
+		q := r.Apply()
+		if err := emu.CheckEquivalence(p, q); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+	}
+}
+
+func TestUsefulBeatsConventionalOnMaskedChain(t *testing.T) {
+	// A chain of wide arithmetic whose only consumer is AND 0xFF: the
+	// paper's canonical useful-range example. Conventional VRP keeps the
+	// chain wide; useful VRP narrows it to one byte.
+	src := `
+.data
+in:  .space 8
+out: .space 8
+.text
+.func main
+	lda r1, =in
+	ld.q r2, 0(r1)      ; unknown 64-bit value
+	add r3, r2, #12345  ; wide intermediate
+	mul r4, r3, #3      ; wide intermediate
+	and r5, r4, #255    ; only the low byte matters
+	lda r6, =out
+	st.q r5, 0(r6)
+	out.b r5
+	halt
+`
+	p := mustAssemble(t, src)
+
+	conv, err := Analyze(p, Options{Mode: Conventional})
+	if err != nil {
+		t.Fatal(err)
+	}
+	useful, err := Analyze(p, Options{Mode: Useful})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var addIdx, mulIdx int
+	for i := range p.Ins {
+		switch p.Ins[i].Op {
+		case isa.OpADD:
+			addIdx = i
+		case isa.OpMUL:
+			mulIdx = i
+		}
+	}
+	if w := conv.Width[addIdx]; w != isa.W64 {
+		t.Errorf("conventional add width = %v, want q", w)
+	}
+	if w := useful.Width[addIdx]; w != isa.W8 {
+		t.Errorf("useful add width = %v, want b", w)
+	}
+	// MUL is not encodable narrow in the paper's opcode set; it must
+	// stay 64-bit even though its demand is one byte.
+	if w := useful.Width[mulIdx]; w != isa.W64 {
+		t.Errorf("useful mul width = %v, want q (not encodable narrower)", w)
+	}
+	if useful.Demand[mulIdx] != 1 {
+		t.Errorf("mul demand = %d, want 1", useful.Demand[mulIdx])
+	}
+
+	// With the ideal (full) opcode set the multiply narrows too.
+	full, err := Analyze(p, Options{Mode: Useful, Opcodes: isa.FullOpcodeSet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := full.Width[mulIdx]; w != isa.W8 {
+		t.Errorf("full-set mul width = %v, want b", w)
+	}
+
+	// And all variants behave identically.
+	for _, r := range []*Result{conv, useful, full} {
+		if err := emu.CheckEquivalence(p, r.Apply()); err != nil {
+			t.Fatalf("equivalence: %v", err)
+		}
+	}
+}
+
+func TestBranchRefinement(t *testing.T) {
+	// if (x <= 100) narrow-path else wide-path: the true path's add gets
+	// a narrow width even though x is loaded unknown.
+	src := `
+.data
+in:  .space 8
+out: .space 8
+.text
+.func main
+	lda r1, =in
+	ld.w r2, 0(r1)       ; x in [-2^31, 2^31)
+	cmple r3, r2, #100
+	beq r3, else
+	; here x <= 100
+	cmplt r4, r2, #0
+	bne r4, else
+	; here 0 <= x <= 100
+	add r5, r2, #1       ; range [1,101]: one byte... needs 1 byte
+	br store
+else:
+	lda r5, 0(rz)
+store:
+	lda r6, =out
+	st.q r5, 0(r6)
+	out.q r5
+	halt
+`
+	p := mustAssemble(t, src)
+	r, err := Analyze(p, Options{Mode: Useful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addIdx = -1
+	for i := range p.Ins {
+		if p.Ins[i].Op == isa.OpADD && p.Ins[i].HasImm && p.Ins[i].Imm == 1 {
+			addIdx = i
+		}
+	}
+	if addIdx < 0 {
+		t.Fatal("add not found")
+	}
+	res := r.ResRange[addIdx]
+	if res.IsEmpty() || res.Lo != 1 || res.Hi != 101 {
+		t.Fatalf("refined add range = %v, want <1,101>", res)
+	}
+	if w := r.Width[addIdx]; w != isa.W8 {
+		t.Errorf("refined add width = %v, want b", w)
+	}
+	if err := emu.CheckEquivalence(p, r.Apply()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterproceduralRanges(t *testing.T) {
+	// Callee sees the join of its call-site argument ranges; caller sees
+	// the callee's return range.
+	src := `
+.data
+out: .space 8
+.text
+.func main
+	lda a0, 7(rz)
+	jsr double
+	lda r9, 0(rz)
+	add r9, rv, #0      ; r9 = return value, range [14,14] joined [20,20]
+	lda a0, 10(rz)
+	jsr double
+	add r9, rv, #0
+	lda r6, =out
+	st.q r9, 0(r6)
+	out.q r9
+	halt
+.func double
+	add rv, a0, a0
+	ret
+`
+	p := mustAssemble(t, src)
+	r, err := Analyze(p, Options{Mode: Useful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the add in double.
+	var f *prog.Func
+	for _, fn := range p.Funcs {
+		if fn.Name == "double" {
+			f = fn
+		}
+	}
+	if f == nil {
+		t.Fatal("double not found")
+	}
+	var res interval.Interval
+	for i := f.Start; i < f.End; i++ {
+		if p.Ins[i].Op == isa.OpADD {
+			res = r.ResRange[i]
+		}
+	}
+	// Arguments join to [7,10]; the double is [14,20].
+	if res.IsEmpty() || res.Lo != 14 || res.Hi != 20 {
+		t.Fatalf("callee add range = %v, want <14,20>", res)
+	}
+	if err := emu.CheckEquivalence(p, r.Apply()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package vrs implements the paper's Value Range Specialization (§3): a
+// profile-guided transformation that clones code regions, guards them with
+// range tests, and lets value range propagation narrow the specialized
+// copy. The three steps match §3 exactly:
+//
+//  1. candidate identification from basic-block profiles with a
+//     preliminary benefit analysis at the minimum possible cost,
+//  2. value profiling of the candidates with fixed-size TNV tables,
+//  3. energy cost/benefit filtering and code transformation (single-value
+//     specialization additionally runs constant propagation and dead-code
+//     elimination inside the clone).
+//
+// The guard emitted before a specialized region is the paper's
+// (x>=min && x<=max) test. Because the guard is an ordinary compare+branch
+// sequence, re-running VRP on the transformed program narrows the clone
+// through standard branch refinement — no side-channel range injection is
+// needed.
+package vrs
+
+import (
+	"fmt"
+
+	"opgate/internal/emu"
+	"opgate/internal/power"
+	"opgate/internal/prog"
+	"opgate/internal/vrp"
+)
+
+// Options configures specialization.
+type Options struct {
+	// Threshold is the fixed per-specialization energy overhead charged
+	// in the benefit test — the paper's "VRS 110nJ ... VRS 30nJ"
+	// configurations (Fig. 8): lower thresholds specialize more points.
+	Threshold float64
+	// Coverage is the TNV range-coverage target (fraction of profiled
+	// events the chosen [min,max] must cover). Default 0.95.
+	Coverage float64
+	// MaxPoints caps the number of specializations (0: unlimited).
+	MaxPoints int
+	// VRP options used for the analyses before and after transformation.
+	// The mode defaults to Useful — VRS builds on the proposed VRP.
+	VRP vrp.Options
+	// Power parameters for the energy model (Table 1 energies).
+	Power power.Params
+}
+
+func (o *Options) defaults() {
+	if o.Coverage <= 0 {
+		o.Coverage = 0.95
+	}
+	o.VRP.Mode = vrp.Useful
+	if o.Threshold == 0 {
+		o.Threshold = 50
+	}
+	var zero power.Params
+	if o.Power == zero {
+		o.Power = power.DefaultParams()
+	}
+}
+
+// Outcome classifies a profiled point (Fig. 4's three bars).
+type Outcome int
+
+// Point outcomes.
+const (
+	NoBenefit Outcome = iota
+	Subsumed          // "dependent on another point": inside a chosen region
+	Specialized
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case NoBenefit:
+		return "no-benefit"
+	case Subsumed:
+		return "subsumed"
+	case Specialized:
+		return "specialized"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Point is one profiled candidate.
+type Point struct {
+	InsIdx   int     // instruction index in the original program
+	Count    int64   // executions observed in the block profile
+	Min, Max int64   // chosen specialization range
+	Freq     float64 // fraction of profiled values inside [Min,Max]
+	Savings  float64 // estimated energy savings per §3.1
+	Cost     float64 // guard energy cost per §3.2
+	Benefit  float64 // Savings*Freq - Cost - Threshold
+	Outcome  Outcome
+	// Region is the original-program instruction range cloned for this
+	// point (valid when Outcome == Specialized).
+	RegionStart, RegionEnd int
+}
+
+// Result is the outcome of a full VRS run.
+type Result struct {
+	Original    *prog.Program
+	Transformed *prog.Program
+	Points      []Point
+
+	// Static statistics (Fig. 5).
+	StaticSpecialized int // instructions in specialized clones (incl. guards)
+	StaticEliminated  int // clone instructions removed by const-prop + DCE
+
+	// Instruction index sets in the transformed program, for runtime
+	// accounting (Fig. 6).
+	GuardIns map[int]bool
+	SpecIns  map[int]bool
+
+	// FinalVRP is the analysis of the transformed program (used by
+	// Apply and the experiments).
+	FinalVRP *vrp.Result
+}
+
+// NumSpecialized counts the points actually specialized.
+func (r *Result) NumSpecialized() int {
+	n := 0
+	for i := range r.Points {
+		if r.Points[i].Outcome == Specialized {
+			n++
+		}
+	}
+	return n
+}
+
+// Apply returns the transformed program re-encoded with the final VRP
+// width assignment — the binary the evaluation runs.
+func (r *Result) Apply() *prog.Program {
+	return r.FinalVRP.Apply()
+}
+
+// Specialize runs the full VRS pipeline. trainProg is the binary with the
+// profiling input baked in; refProg is the binary to transform. The two
+// must share a static code layout (same instruction sequence, possibly
+// different immediates/data), which is the builder's contract.
+func Specialize(trainProg, refProg *prog.Program, opts Options) (*Result, error) {
+	opts.defaults()
+	if len(trainProg.Ins) != len(refProg.Ins) {
+		return nil, fmt.Errorf("vrs: train and ref binaries have different layouts (%d vs %d instructions)",
+			len(trainProg.Ins), len(refProg.Ins))
+	}
+
+	// Static analysis of the reference binary.
+	base, err := vrp.Analyze(refProg, opts.VRP)
+	if err != nil {
+		return nil, fmt.Errorf("vrs: baseline VRP: %w", err)
+	}
+
+	// Step 1 (§3.3): block profile on the train input, then candidate
+	// identification with the minimum-cost preliminary filter.
+	trainMachine := emu.New(trainProg)
+	trainMachine.EnableCounts()
+	if err := trainMachine.Run(); err != nil {
+		return nil, fmt.Errorf("vrs: train profiling run: %w", err)
+	}
+	counts := trainMachine.InsCount
+
+	cands := findCandidates(refProg, base, counts, opts)
+	if len(cands) == 0 {
+		final, err := vrp.Analyze(refProg, opts.VRP)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Original:    refProg,
+			Transformed: refProg,
+			FinalVRP:    final,
+			GuardIns:    map[int]bool{},
+			SpecIns:     map[int]bool{},
+		}, nil
+	}
+
+	// Step 2 (§3.3): value-profile the candidates on the train input.
+	idxs := make([]int, len(cands))
+	for i, c := range cands {
+		idxs[i] = c.InsIdx
+	}
+	profiler := emu.NewProfiler(idxs)
+	trainMachine.Reset()
+	profiler.Attach(trainMachine)
+	if err := trainMachine.Run(); err != nil {
+		return nil, fmt.Errorf("vrs: value profiling run: %w", err)
+	}
+
+	// Step 3 (§3.4): evaluate profitability with the profiled ranges and
+	// transform the survivors.
+	points := evaluate(refProg, base, cands, profiler, counts, opts)
+	return transform(refProg, base, points, counts, opts)
+}

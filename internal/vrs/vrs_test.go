@@ -1,0 +1,142 @@
+package vrs
+
+import (
+	"testing"
+
+	"opgate/internal/emu"
+	"opgate/internal/prog"
+	"opgate/internal/vrp"
+	"opgate/internal/workload"
+)
+
+func specializeWorkload(t *testing.T, name string, threshold float64) *Result {
+	t.Helper()
+	w, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainP, err := w.Build(workload.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refP, err := w.Build(workload.Ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Specialize(trainP, refP, Options{Threshold: threshold})
+	if err != nil {
+		t.Fatalf("specialize %s: %v", name, err)
+	}
+	return res
+}
+
+// TestSpecializeEquivalence is the load-bearing correctness test: the
+// transformed, re-encoded binary must behave identically to the original
+// on the reference input for every kernel.
+func TestSpecializeEquivalence(t *testing.T) {
+	for _, w := range workload.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res := specializeWorkload(t, w.Name, 50)
+			if err := emu.CheckEquivalence(res.Original, res.Transformed); err != nil {
+				t.Fatalf("transformed: %v", err)
+			}
+			if err := emu.CheckEquivalence(res.Original, res.Apply()); err != nil {
+				t.Fatalf("transformed+widths: %v", err)
+			}
+		})
+	}
+}
+
+// TestSpecializationHappens checks that the interpreter-style kernels
+// (whose wide loads carry narrow dynamic values) actually get specialized.
+func TestSpecializationHappens(t *testing.T) {
+	specializedSomewhere := false
+	for _, name := range []string{"gcc", "m88ksim", "li", "perl"} {
+		res := specializeWorkload(t, name, 50)
+		t.Logf("%s: %d profiled points, %d specialized, %d static specialized ins, %d eliminated",
+			name, len(res.Points), res.NumSpecialized(), res.StaticSpecialized, res.StaticEliminated)
+		if res.NumSpecialized() > 0 {
+			specializedSomewhere = true
+			if res.StaticSpecialized == 0 {
+				t.Errorf("%s: specialized points but no cloned instructions", name)
+			}
+		}
+	}
+	if !specializedSomewhere {
+		t.Fatal("no kernel specialized any point — VRS is inert")
+	}
+}
+
+// TestThresholdMonotonicity reproduces Fig. 8's parameter: lowering the
+// specialization threshold can only increase (or keep) the number of
+// specialized points.
+func TestThresholdMonotonicity(t *testing.T) {
+	prev := -1
+	for _, th := range []float64{110, 90, 70, 50, 30} {
+		total := 0
+		for _, name := range []string{"gcc", "m88ksim", "perl"} {
+			res := specializeWorkload(t, name, th)
+			total += res.NumSpecialized()
+		}
+		if prev >= 0 && total < prev {
+			t.Errorf("threshold %v: %d specialized, fewer than the higher threshold's %d", th, total, prev)
+		}
+		prev = total
+	}
+}
+
+// TestVRSReducesWork checks the effect behind Fig. 10: across the suite,
+// the specialized binaries execute fewer dynamic instructions than the
+// VRP-only binaries (the single-value clones eliminate the folded checks,
+// outweighing the inserted guards), and at least one kernel eliminates
+// instructions statically (Fig. 5's m88ksim/vortex effect).
+func TestVRSReducesWork(t *testing.T) {
+	var vrpDyn, vrsDyn int64
+	eliminated := 0
+	for _, w := range workload.All() {
+		refP, err := w.Build(workload.Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, err := vrp.Analyze(refP, vrp.Options{Mode: vrp.Useful})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := emu.Execute(rv.Apply())
+		if err != nil {
+			t.Fatal(err)
+		}
+		vrpDyn += r1.Dyn
+
+		res := specializeWorkload(t, w.Name, 50)
+		r2, err := emu.Execute(res.Apply())
+		if err != nil {
+			t.Fatal(err)
+		}
+		vrsDyn += r2.Dyn
+		eliminated += res.StaticEliminated
+	}
+	t.Logf("suite dynamic instructions: VRP %d, VRS %d", vrpDyn, vrsDyn)
+	if vrsDyn >= vrpDyn {
+		t.Errorf("VRS executed more instructions (%d) than VRP (%d)", vrsDyn, vrpDyn)
+	}
+	if eliminated == 0 {
+		t.Error("no kernel eliminated instructions via single-value specialization")
+	}
+}
+
+// addDynamicHistogram runs p and tallies the widths of the retired
+// width-bearing instructions into h.
+func addDynamicHistogram(t *testing.T, h *vrp.WidthHistogram, p *prog.Program) {
+	t.Helper()
+	m := emu.New(p)
+	m.Trace = func(ev emu.Event) {
+		if vrp.CountsWidth(ev.Ins.Op) {
+			h.Add(ev.Ins.Width, 1)
+		}
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"opgate/internal/asm"
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// BuildCompress is the compress analog: run-length encoding over a bursty
+// byte stream, followed by a checksum over the encoded output. Nearly all
+// data is byte-width; run lengths are bounded at 255; the checksum is kept
+// narrow by an explicit mask (a useful-range anchor, §2.2.5).
+func BuildCompress(class InputClass) (*prog.Program, error) {
+	n := 2000
+	seed := uint64(11)
+	if class == Ref {
+		n = 6000
+		seed = 29
+	}
+
+	// Bursty input: runs of identical bytes with geometric-ish lengths.
+	r := newRNG(seed)
+	input := make([]byte, n)
+	for i := 0; i < n; {
+		v := r.byten(32)
+		run := 1 + r.intn(12)
+		if r.intn(4) == 0 {
+			run += r.intn(40)
+		}
+		for j := 0; j < run && i < n; j++ {
+			input[i] = v
+			i++
+		}
+	}
+
+	b := asm.NewBuilder()
+	b.Bytes("input", input)
+	b.Space("output", 2*n+16)
+
+	b.Func("main")
+	b.LoadAddr(s1, "input")  // in pointer
+	b.LoadAddr(s2, "output") // out pointer
+	b.Lda(s3, rz, 0)         // i
+	b.Lda(s4, rz, 0)         // outp
+
+	b.Label("encode")
+	// b = in[i]
+	b.Op3(isa.OpADD, isa.W64, t2, s1, s3)
+	b.Load(isa.W8, t3, t2, 0)
+	b.Lda(t4, rz, 1) // run = 1
+	b.Label("scan")
+	b.Op3(isa.OpADD, isa.W64, t5, s3, t4) // i + run
+	b.OpI(isa.OpCMPLT, isa.W64, t6, t5, int64(n))
+	b.CondBranch(isa.OpBEQ, t6, "scandone") // off the end
+	b.OpI(isa.OpCMPLT, isa.W64, t7, t4, 255)
+	b.CondBranch(isa.OpBEQ, t7, "scandone") // run saturated
+	b.Op3(isa.OpADD, isa.W64, t8, s1, t5)
+	b.Load(isa.W8, t8, t8, 0)
+	b.Op3(isa.OpXOR, isa.W64, t8, t8, t3)
+	b.CondBranch(isa.OpBNE, t8, "scandone") // run broken
+	b.OpI(isa.OpADD, isa.W64, t4, t4, 1)
+	b.Branch("scan")
+	b.Label("scandone")
+	// out[outp] = b; out[outp+1] = run
+	b.Op3(isa.OpADD, isa.W64, t5, s2, s4)
+	b.Store(isa.W8, t3, t5, 0)
+	b.Store(isa.W8, t4, t5, 1)
+	b.OpI(isa.OpADD, isa.W64, s4, s4, 2)
+	b.Op3(isa.OpADD, isa.W64, s3, s3, t4)
+	b.OpI(isa.OpCMPLT, isa.W64, t1, s3, int64(n))
+	b.CondBranch(isa.OpBNE, t1, "encode")
+
+	// Checksum the encoded stream: sum of bytes, masked to 16 bits so the
+	// whole accumulation chain is narrow-useful.
+	b.Lda(s5, rz, 0) // sum
+	b.Lda(s6, rz, 0) // j
+	b.Label("csum")
+	b.Op3(isa.OpADD, isa.W64, t1, s2, s6)
+	b.Load(isa.W8, t2, t1, 0)
+	b.Op3(isa.OpADD, isa.W64, s5, s5, t2)
+	b.OpI(isa.OpAND, isa.W64, s5, s5, 0xFFFF)
+	b.OpI(isa.OpADD, isa.W64, s6, s6, 1)
+	b.Op3(isa.OpCMPLT, isa.W64, t3, s6, s4)
+	b.CondBranch(isa.OpBNE, t3, "csum")
+
+	b.Out(isa.W16, s5) // checksum
+	b.Out(isa.W32, s4) // encoded length
+	b.Halt()
+	return b.Build()
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"opgate/internal/asm"
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// BuildGCC is the gcc analog: a token-stream scanner with a dispatch
+// chain, per-kind 64-bit counters (whose runtime values are small — prime
+// value-range-specialization candidates), a nesting-depth tracker with a
+// conditional-move maximum, and a precedence-weighted accumulator using
+// multiplies. Mixed widths, branchy control.
+func BuildGCC(class InputClass) (*prog.Program, error) {
+	n := 3000
+	seed := uint64(101)
+	if class == Ref {
+		n = 9000
+		seed = 211
+	}
+
+	r := newRNG(seed)
+	tokens := make([]byte, n)
+	depthBias := 0
+	for i := range tokens {
+		t := r.byten(16)
+		// Keep opens/closes roughly balanced so depth stays small.
+		if t < 4 && depthBias > 6 {
+			t += 4
+		}
+		if t < 4 {
+			depthBias++
+		} else if t < 8 && depthBias > 0 {
+			depthBias--
+		}
+		tokens[i] = t
+	}
+	prec := make([]byte, 16)
+	for i := range prec {
+		prec[i] = byte(1 + r.intn(9))
+	}
+
+	b := asm.NewBuilder()
+	b.Bytes("tokens", tokens)
+	b.Bytes("prec", prec)
+	b.Space("counts", 16*8)
+
+	b.Func("main")
+	b.LoadAddr(s1, "tokens")
+	b.LoadAddr(s2, "counts")
+	b.LoadAddr(s3, "prec")
+	b.Lda(s4, rz, 0) // i
+	b.Lda(s5, rz, 0) // depth
+	b.Lda(s6, rz, 0) // maxdepth
+	b.Lda(s7, rz, 0) // weighted sum
+
+	b.Label("scan")
+	b.Op3(isa.OpADD, isa.W64, t1, s1, s4)
+	b.Load(isa.W8, t2, t1, 0) // t = tokens[i], range [0,15]
+
+	// counts[t]++ — a 64-bit counter whose dynamic value is small: the
+	// load below is exactly the kind of point VRS profiles and
+	// specializes.
+	b.OpI(isa.OpSLL, isa.W64, t3, t2, 3)
+	b.Op3(isa.OpADD, isa.W64, t3, s2, t3)
+	b.Load(isa.W64, t4, t3, 0)
+	b.OpI(isa.OpADD, isa.W64, t4, t4, 1)
+	b.Store(isa.W64, t4, t3, 0)
+
+	// Dispatch: t<4 open, 4<=t<8 close, else operand.
+	b.OpI(isa.OpCMPLT, isa.W64, t5, t2, 4)
+	b.CondBranch(isa.OpBEQ, t5, "notopen")
+	b.OpI(isa.OpADD, isa.W32, s5, s5, 1) // depth++ (a C int)
+	b.Branch("depthdone")
+	b.Label("notopen")
+	b.OpI(isa.OpCMPLT, isa.W64, t5, t2, 8)
+	b.CondBranch(isa.OpBEQ, t5, "depthdone")
+	b.OpI(isa.OpSUB, isa.W32, s5, s5, 1) // depth--
+	// Clamp at zero: depth = depth<0 ? 0 : depth.
+	b.Op3(isa.OpCMOVLT, isa.W64, s5, s5, rz)
+	b.Label("depthdone")
+
+	// maxdepth = max(maxdepth, depth) via compare + cmovne.
+	b.Op3(isa.OpCMPLT, isa.W64, t6, s6, s5)
+	b.Op3(isa.OpCMOVNE, isa.W64, s6, t6, s5)
+
+	// sum += prec[t] * depth, masked to 24 bits (useful anchor).
+	b.Op3(isa.OpADD, isa.W64, t7, s3, t2)
+	b.Load(isa.W8, t7, t7, 0)
+	b.Op3(isa.OpMUL, isa.W64, t7, t7, s5)
+	b.Op3(isa.OpADD, isa.W64, s7, s7, t7)
+	b.OpI(isa.OpAND, isa.W64, s7, s7, 0xFFFFFF)
+
+	b.OpI(isa.OpADD, isa.W64, s4, s4, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t1, s4, int64(n))
+	b.CondBranch(isa.OpBNE, t1, "scan")
+
+	// Emit results: weighted sum, max depth, and the counter table
+	// checksum (folded to 16 bits).
+	b.Out(isa.W32, s7)
+	b.Out(isa.W8, s6)
+	b.Lda(s4, rz, 0) // k
+	b.Lda(s5, rz, 0) // checksum
+	b.Label("ck")
+	b.OpI(isa.OpSLL, isa.W64, t1, s4, 3)
+	b.Op3(isa.OpADD, isa.W64, t1, s2, t1)
+	b.Load(isa.W64, t2, t1, 0)
+	b.Op3(isa.OpADD, isa.W64, s5, s5, t2)
+	b.OpI(isa.OpAND, isa.W64, s5, s5, 0xFFFF)
+	b.OpI(isa.OpADD, isa.W64, s4, s4, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t3, s4, 16)
+	b.CondBranch(isa.OpBNE, t3, "ck")
+	b.Out(isa.W16, s5)
+	b.Halt()
+	return b.Build()
+}

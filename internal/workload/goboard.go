@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"opgate/internal/asm"
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// BuildGo is the go analog: iterative influence propagation over a 19×19
+// board. Stones are bytes, influence values are halfwords kept narrow with
+// an explicit mask, and the nested x/y loops have statically analysable
+// affine iterators (§2.3).
+func BuildGo(class InputClass) (*prog.Program, error) {
+	const size = 19
+	const stride = 20 // one byte of padding per row
+	passes := 4
+	seed := uint64(5)
+	if class == Ref {
+		passes = 12
+		seed = 17
+	}
+
+	r := newRNG(seed)
+	board := make([]byte, stride*(size+2))
+	for y := 1; y <= size; y++ {
+		for x := 1; x < size-1; x++ {
+			if r.intn(3) == 0 {
+				board[y*stride+x] = 1 + r.byten(2) // black or white stone
+			}
+		}
+	}
+
+	b := asm.NewBuilder()
+	b.Bytes("board", board)
+	b.Space("infl", 2*stride*(size+2))
+
+	b.Func("main")
+	b.LoadAddr(s1, "board")
+	b.LoadAddr(s2, "infl")
+	b.Lda(s6, rz, 0) // total influence (output)
+	b.Lda(s7, rz, 0) // pass counter
+
+	b.Label("pass")
+	b.Lda(s3, rz, 1) // y
+	b.Label("yloop")
+	b.Lda(s4, rz, 1) // x
+	b.Label("xloop")
+	// idx = y*stride + x
+	b.OpI(isa.OpMUL, isa.W64, t1, s3, stride)
+	b.Op3(isa.OpADD, isa.W64, t1, t1, s4)
+	// v = 4*board[idx] + board[idx-1] + board[idx+1]
+	//   + board[idx-stride] + board[idx+stride]
+	b.Op3(isa.OpADD, isa.W64, t2, s1, t1)
+	b.Load(isa.W8, t3, t2, 0)
+	b.OpI(isa.OpSLL, isa.W64, t3, t3, 2)
+	b.Load(isa.W8, t4, t2, -1)
+	b.Op3(isa.OpADD, isa.W64, t3, t3, t4)
+	b.Load(isa.W8, t4, t2, 1)
+	b.Op3(isa.OpADD, isa.W64, t3, t3, t4)
+	b.Load(isa.W8, t4, t2, -stride)
+	b.Op3(isa.OpADD, isa.W64, t3, t3, t4)
+	b.Load(isa.W8, t4, t2, stride)
+	b.Op3(isa.OpADD, isa.W64, t3, t3, t4)
+	// inf = (infl[idx]/2 + v) & 0x7FF — decays old influence, stays
+	// narrow via the mask.
+	b.Op3(isa.OpADD, isa.W64, t5, t1, t1) // halfword index
+	b.Op3(isa.OpADD, isa.W64, t5, s2, t5)
+	b.Load(isa.W16, t6, t5, 0)
+	b.OpI(isa.OpSRL, isa.W64, t6, t6, 1)
+	b.Op3(isa.OpADD, isa.W64, t6, t6, t3)
+	b.OpI(isa.OpAND, isa.W64, t6, t6, 0x7FF)
+	b.Store(isa.W16, t6, t5, 0)
+	// total = (total + inf) & 0xFFFFF
+	b.Op3(isa.OpADD, isa.W64, s6, s6, t6)
+	b.OpI(isa.OpAND, isa.W64, s6, s6, 0xFFFFF)
+
+	b.OpI(isa.OpADD, isa.W64, s4, s4, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t1, s4, size-1)
+	b.CondBranch(isa.OpBNE, t1, "xloop")
+	b.OpI(isa.OpADD, isa.W64, s3, s3, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t1, s3, size+1)
+	b.CondBranch(isa.OpBNE, t1, "yloop")
+	b.OpI(isa.OpADD, isa.W64, s7, s7, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t1, s7, int64(passes))
+	b.CondBranch(isa.OpBNE, t1, "pass")
+
+	b.Out(isa.W32, s6)
+	b.Halt()
+	return b.Build()
+}

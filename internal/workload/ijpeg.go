@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"opgate/internal/asm"
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// BuildIJPEG is the ijpeg analog: an 8-point integer transform applied to
+// the rows of 8×8 pixel blocks with small signed weights, followed by a
+// shift-quantise back to bytes. Pixels are unsigned bytes, weights are
+// signed bytes (loaded with an explicit sign extension — the MSK/SEXT
+// family), and intermediates fit 16–32 bits.
+func BuildIJPEG(class InputClass) (*prog.Program, error) {
+	w, h := 40, 24
+	seed := uint64(313)
+	if class == Ref {
+		w, h = 64, 40
+		seed = 771
+	}
+
+	r := newRNG(seed)
+	pix := make([]byte, w*h)
+	for i := range pix {
+		// Smooth-ish image: neighbours correlate.
+		if i%w == 0 || i < w {
+			pix[i] = r.byten(256)
+		} else {
+			base := int(pix[i-1]) + int(pix[i-w])
+			pix[i] = byte((base/2 + r.intn(17) - 8) & 0xFF)
+		}
+	}
+	weights := make([]byte, 64)
+	for k := 0; k < 8; k++ {
+		for x := 0; x < 8; x++ {
+			weights[k*8+x] = byte(int8(r.intn(7) - 3)) // -3..3
+		}
+	}
+
+	b := asm.NewBuilder()
+	b.Bytes("pix", pix)
+	b.Bytes("wt", weights)
+	b.Space("coef", w*h*2)
+
+	nbx := w / 8
+	nby := h / 8
+
+	b.Func("main")
+	b.LoadAddr(s1, "pix")
+	b.LoadAddr(s2, "wt")
+	b.LoadAddr(s3, "coef")
+	b.Lda(s7, rz, 0) // checksum
+
+	b.Lda(s4, rz, 0) // by
+	b.Label("byloop")
+	b.Lda(s5, rz, 0) // bx
+	b.Label("bxloop")
+	b.Lda(s6, rz, 0) // row within block
+	b.Label("rowloop")
+
+	// rowbase = ((by*8 + row)*w + bx*8)
+	b.OpI(isa.OpSLL, isa.W64, t1, s4, 3)
+	b.Op3(isa.OpADD, isa.W64, t1, t1, s6)
+	b.OpI(isa.OpMUL, isa.W64, t1, t1, int64(w))
+	b.OpI(isa.OpSLL, isa.W64, t2, s5, 3)
+	b.Op3(isa.OpADD, isa.W64, t1, t1, t2)
+	b.Op3(isa.OpADD, isa.W64, t1, s1, t1) // &pix[rowbase]
+
+	// For k in 0..7: c = sum_x pix[x] * wt[k*8+x]; out halfword.
+	b.Lda(t2, rz, 0) // k
+	b.Label("kloop")
+	b.Lda(t3, rz, 0) // accumulator c
+	b.Lda(t4, rz, 0) // x
+	b.Label("xsum")
+	b.Op3(isa.OpADD, isa.W64, t5, t1, t4)
+	b.Load(isa.W8, t5, t5, 0) // pixel, [0,255]
+	b.OpI(isa.OpSLL, isa.W64, t6, t2, 3)
+	b.Op3(isa.OpADD, isa.W64, t6, t6, t4)
+	b.Op3(isa.OpADD, isa.W64, t6, s2, t6)
+	b.Load(isa.W8, t6, t6, 0)
+	b.Emit(isa.Instruction{Op: isa.OpSEXT, Width: isa.W8, Rd: t6, Ra: t6}) // signed weight
+	b.Op3(isa.OpMUL, isa.W64, t5, t5, t6)
+	b.Op3(isa.OpADD, isa.W64, t3, t3, t5)
+	b.OpI(isa.OpADD, isa.W64, t4, t4, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t7, t4, 8)
+	b.CondBranch(isa.OpBNE, t7, "xsum")
+
+	// Quantise: q = (c >> 3) clipped to a signed halfword, stored.
+	b.OpI(isa.OpSRA, isa.W64, t3, t3, 3)
+	// coefindex = rowbase + k (reuse t1 base relative to pix; the
+	// coefficient plane mirrors the pixel plane)
+	b.OpI(isa.OpSLL, isa.W64, t5, t2, 0)
+	b.Op3(isa.OpADD, isa.W64, t5, t1, t5) // &pix[rowbase+k]
+	// translate pixel address to coef address: coef + 2*(addr - pix)
+	b.Op3(isa.OpSUB, isa.W64, t5, t5, s1)
+	b.Op3(isa.OpADD, isa.W64, t5, t5, t5)
+	b.Op3(isa.OpADD, isa.W64, t5, s3, t5)
+	b.Store(isa.W16, t3, t5, 0)
+	// checksum accumulates |q| & 0x3FF
+	b.OpI(isa.OpAND, isa.W64, t6, t3, 0x3FF)
+	b.Op3(isa.OpADD, isa.W64, s7, s7, t6)
+	b.OpI(isa.OpAND, isa.W64, s7, s7, 0xFFFFF)
+
+	b.OpI(isa.OpADD, isa.W64, t2, t2, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t7, t2, 8)
+	b.CondBranch(isa.OpBNE, t7, "kloop")
+
+	b.OpI(isa.OpADD, isa.W64, s6, s6, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t7, s6, 8)
+	b.CondBranch(isa.OpBNE, t7, "rowloop")
+	b.OpI(isa.OpADD, isa.W64, s5, s5, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t7, s5, int64(nbx))
+	b.CondBranch(isa.OpBNE, t7, "bxloop")
+	b.OpI(isa.OpADD, isa.W64, s4, s4, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t7, s4, int64(nby))
+	b.CondBranch(isa.OpBNE, t7, "byloop")
+
+	b.Out(isa.W32, s7)
+	b.Halt()
+	return b.Build()
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"opgate/internal/asm"
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// BuildLi is the li (lisp interpreter) analog: cons cells are allocated
+// from a bump heap, lists are built, traversed and filtered through
+// functions. The cell values are small integers but the cdr pointers are
+// full 5-byte addresses, so the kernel mixes very narrow and wide data —
+// the paper notes li sits in the middle of the width distribution. The
+// value loads inside the traversal functions are 64-bit with small dynamic
+// content: value-range specialization territory.
+func BuildLi(class InputClass) (*prog.Program, error) {
+	m := 400
+	rounds := 6
+	seed := uint64(4242)
+	if class == Ref {
+		m = 900
+		rounds = 14
+		seed = 9000
+	}
+
+	r := newRNG(seed)
+	vals := make([]byte, m)
+	for i := range vals {
+		vals[i] = r.byten(100)
+	}
+
+	b := asm.NewBuilder()
+	b.Bytes("vals", vals)
+	b.Space("heap", 16*(m+8))
+
+	// Cell layout: [value qword][next qword]; nil = 0.
+
+	b.Func("main")
+	b.LoadAddr(s1, "vals")
+	b.LoadAddr(s2, "heap") // bump pointer
+	b.Lda(s3, rz, 0)       // head = nil
+	b.Lda(s4, rz, 0)       // i
+
+	// Build the list front-to-back (prepend).
+	b.Label("build")
+	b.Op3(isa.OpADD, isa.W64, t1, s1, s4)
+	b.Load(isa.W8, t2, t1, 0) // value [0,100)
+	// cell = bump; bump += 16
+	b.Store(isa.W64, t2, s2, 0) // cell.value
+	b.Store(isa.W64, s3, s2, 8) // cell.next = head
+	b.Lda(s3, s2, 0)            // head = cell
+	b.Lda(s2, s2, 16)
+	b.OpI(isa.OpADD, isa.W64, s4, s4, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t3, s4, int64(m))
+	b.CondBranch(isa.OpBNE, t3, "build")
+
+	// rounds × (sum + count-matching) over the list via calls.
+	b.Lda(s5, rz, 0) // round
+	b.Lda(s6, rz, 0) // result accumulator
+	b.Label("round")
+	b.Lda(prog.RegArg0, s3, 0) // a0 = head
+	b.Call("sumlist")
+	b.Op3(isa.OpADD, isa.W64, s6, s6, prog.RegRet)
+	b.OpI(isa.OpAND, isa.W64, s6, s6, 0xFFFFFF)
+	b.Lda(prog.RegArg0, s3, 0)
+	b.OpI(isa.OpAND, isa.W64, t1, s5, 63) // threshold varies per round
+	b.Lda(prog.RegArg1, t1, 0)
+	b.Call("countabove")
+	b.Op3(isa.OpADD, isa.W64, s6, s6, prog.RegRet)
+	b.OpI(isa.OpAND, isa.W64, s6, s6, 0xFFFFFF)
+	b.OpI(isa.OpADD, isa.W64, s5, s5, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t1, s5, int64(rounds))
+	b.CondBranch(isa.OpBNE, t1, "round")
+
+	b.Out(isa.W32, s6)
+	b.Halt()
+
+	// sumlist(a0 = head) -> rv: sum of cell values, masked to 20 bits.
+	b.Func("sumlist")
+	b.Lda(prog.RegRet, rz, 0)
+	b.Label("sl_loop")
+	b.CondBranch(isa.OpBEQ, prog.RegArg0, "sl_done")
+	b.Load(isa.W64, t1, prog.RegArg0, 0) // value: wide load, small data
+	b.Op3(isa.OpADD, isa.W64, prog.RegRet, prog.RegRet, t1)
+	b.OpI(isa.OpAND, isa.W64, prog.RegRet, prog.RegRet, 0xFFFFF)
+	b.Load(isa.W64, prog.RegArg0, prog.RegArg0, 8) // next
+	b.Branch("sl_loop")
+	b.Label("sl_done")
+	b.Ret()
+
+	// countabove(a0 = head, a1 = threshold) -> rv: cells with value > t.
+	b.Func("countabove")
+	b.Lda(prog.RegRet, rz, 0)
+	b.Label("ca_loop")
+	b.CondBranch(isa.OpBEQ, prog.RegArg0, "ca_done")
+	b.Load(isa.W64, t1, prog.RegArg0, 0)
+	b.Op3(isa.OpCMPLT, isa.W64, t2, prog.RegArg1, t1) // t < value
+	b.Op3(isa.OpADD, isa.W64, prog.RegRet, prog.RegRet, t2)
+	b.Load(isa.W64, prog.RegArg0, prog.RegArg0, 8)
+	b.Branch("ca_loop")
+	b.Label("ca_done")
+	b.Ret()
+
+	return b.Build()
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"opgate/internal/asm"
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// Bytecode opcodes for the simulated 16-bit VM inside the m88ksim analog.
+const (
+	vmHalt    = 0
+	vmLoadImm = 1 // reg, imm8
+	vmAdd     = 2 // rd, rs
+	vmSub     = 3 // rd, rs
+	vmJnz     = 4 // reg, signed delta8 (relative to opcode byte)
+	vmOut     = 5 // reg
+	vmDec     = 6 // reg
+)
+
+// BuildM88ksim is the m88ksim analog: a simulator-in-the-simulator. The
+// OG64 kernel interprets a small 16-bit virtual machine: fetch a byte
+// opcode, walk a compare-and-branch dispatch chain, and operate on eight
+// VM registers kept as 64-bit words in memory whose dynamic values are
+// 16-bit — the classic case where static analysis must assume wide loads
+// but profiling reveals narrow ranges (VRS) and the interpreter arithmetic
+// is maskable (useful VRP).
+func BuildM88ksim(class InputClass) (*prog.Program, error) {
+	outer := 40
+	if class == Ref {
+		outer = 130
+	}
+
+	// VM program: r0 = outer counter; loop: r1 = 23; inner: r2 += r1,
+	// r1--, jnz r1 inner; out r2; r0--; jnz r0 outer; halt. The jnz
+	// delta is a signed byte added to the pc of the jnz opcode itself.
+	code := []byte{
+		vmLoadImm, 0, byte(outer), // 0: r0 = outer
+		vmLoadImm, 1, 23, // 3: r1 = 23
+		vmAdd, 2, 1, // 6: r2 += r1
+		vmDec, 1, // 9: r1--
+		vmJnz, 1, 0x100 - 5, // 11: if r1 goto 6   (11-5=6)
+		vmOut, 2, // 14: out r2
+		vmDec, 0, // 16: r0--
+		vmJnz, 0, 0x100 - 15, // 18: if r0 goto 3  (18-15=3)
+		vmHalt, // 21
+	}
+
+	b := asm.NewBuilder()
+	b.Bytes("code", code)
+	b.Space("vregs", 8*8)
+	b.Space("trapmode", 8) // simulator trace/trap mode word; 0 in normal runs
+
+	b.Func("main")
+	b.LoadAddr(s1, "code")
+	b.LoadAddr(s2, "vregs")
+	b.LoadAddr(s5, "trapmode")
+	b.Lda(s3, rz, 0) // vm pc
+	b.Lda(s6, rz, 0) // trace event counter
+
+	b.Label("fetch")
+	// Debug-hook checks on every dispatch, like a real simulator: one
+	// control word gates tracing, single-stepping and watchpoints. The
+	// word is almost always zero — the canonical single-value
+	// specialization point: one guard test replaces three mask-and-branch
+	// pairs in the specialized clone (constant propagation folds them
+	// all, the paper's m88ksim elimination effect in Fig. 5).
+	b.Load(isa.W64, t5, s5, 0)
+	b.OpI(isa.OpAND, isa.W64, t6, t5, 1)
+	b.CondBranch(isa.OpBNE, t6, "trace")
+	b.OpI(isa.OpAND, isa.W64, t6, t5, 2)
+	b.CondBranch(isa.OpBNE, t6, "sstep")
+	b.OpI(isa.OpAND, isa.W64, t6, t5, 4)
+	b.CondBranch(isa.OpBNE, t6, "watch")
+	b.Label("fetch2")
+	b.Op3(isa.OpADD, isa.W64, t1, s1, s3)
+	b.Load(isa.W8, t2, t1, 0) // opcode
+	b.Load(isa.W8, t3, t1, 1) // operand 1
+	b.Load(isa.W8, t4, t1, 2) // operand 2
+
+	// Dispatch chain (frequency-ordered like a real interpreter).
+	b.OpI(isa.OpCMPEQ, isa.W64, t5, t2, vmAdd)
+	b.CondBranch(isa.OpBNE, t5, "op_add")
+	b.OpI(isa.OpCMPEQ, isa.W64, t5, t2, vmDec)
+	b.CondBranch(isa.OpBNE, t5, "op_dec")
+	b.OpI(isa.OpCMPEQ, isa.W64, t5, t2, vmJnz)
+	b.CondBranch(isa.OpBNE, t5, "op_jnz")
+	b.OpI(isa.OpCMPEQ, isa.W64, t5, t2, vmLoadImm)
+	b.CondBranch(isa.OpBNE, t5, "op_li")
+	b.OpI(isa.OpCMPEQ, isa.W64, t5, t2, vmSub)
+	b.CondBranch(isa.OpBNE, t5, "op_sub")
+	b.OpI(isa.OpCMPEQ, isa.W64, t5, t2, vmOut)
+	b.CondBranch(isa.OpBNE, t5, "op_out")
+	b.Branch("vm_halt")
+
+	// vregs helper: address of vreg k in t6 given reg index in t3.
+	b.Label("op_add")
+	b.OpI(isa.OpSLL, isa.W64, t6, t3, 3)
+	b.Op3(isa.OpADD, isa.W64, t6, s2, t6)
+	b.OpI(isa.OpSLL, isa.W64, t7, t4, 3)
+	b.Op3(isa.OpADD, isa.W64, t7, s2, t7)
+	b.Load(isa.W64, t5, t6, 0) // rd value (16-bit dynamic)
+	b.Load(isa.W64, t8, t7, 0) // rs value
+	b.Op3(isa.OpADD, isa.W64, t5, t5, t8)
+	b.OpI(isa.OpAND, isa.W64, t5, t5, 0xFFFF) // 16-bit VM wraparound
+	b.Store(isa.W64, t5, t6, 0)
+	b.Lda(s3, s3, 3)
+	b.Branch("fetch")
+
+	b.Label("op_sub")
+	b.OpI(isa.OpSLL, isa.W64, t6, t3, 3)
+	b.Op3(isa.OpADD, isa.W64, t6, s2, t6)
+	b.OpI(isa.OpSLL, isa.W64, t7, t4, 3)
+	b.Op3(isa.OpADD, isa.W64, t7, s2, t7)
+	b.Load(isa.W64, t5, t6, 0)
+	b.Load(isa.W64, t8, t7, 0)
+	b.Op3(isa.OpSUB, isa.W64, t5, t5, t8)
+	b.OpI(isa.OpAND, isa.W64, t5, t5, 0xFFFF)
+	b.Store(isa.W64, t5, t6, 0)
+	b.Lda(s3, s3, 3)
+	b.Branch("fetch")
+
+	b.Label("op_dec")
+	b.OpI(isa.OpSLL, isa.W64, t6, t3, 3)
+	b.Op3(isa.OpADD, isa.W64, t6, s2, t6)
+	b.Load(isa.W64, t5, t6, 0)
+	b.OpI(isa.OpSUB, isa.W64, t5, t5, 1)
+	b.OpI(isa.OpAND, isa.W64, t5, t5, 0xFFFF)
+	b.Store(isa.W64, t5, t6, 0)
+	b.Lda(s3, s3, 2)
+	b.Branch("fetch")
+
+	b.Label("op_li")
+	b.OpI(isa.OpSLL, isa.W64, t6, t3, 3)
+	b.Op3(isa.OpADD, isa.W64, t6, s2, t6)
+	b.Store(isa.W64, t4, t6, 0)
+	b.Lda(s3, s3, 3)
+	b.Branch("fetch")
+
+	b.Label("op_jnz")
+	b.OpI(isa.OpSLL, isa.W64, t6, t3, 3)
+	b.Op3(isa.OpADD, isa.W64, t6, s2, t6)
+	b.Load(isa.W64, t5, t6, 0)
+	b.CondBranch(isa.OpBEQ, t5, "jnz_fall")
+	// pc += sext8(delta)
+	b.Emit(isa.Instruction{Op: isa.OpSEXT, Width: isa.W8, Rd: t7, Ra: t4})
+	b.Op3(isa.OpADD, isa.W64, s3, s3, t7)
+	b.Branch("fetch")
+	b.Label("jnz_fall")
+	b.Lda(s3, s3, 3)
+	b.Branch("fetch")
+
+	b.Label("op_out")
+	b.OpI(isa.OpSLL, isa.W64, t6, t3, 3)
+	b.Op3(isa.OpADD, isa.W64, t6, s2, t6)
+	b.Load(isa.W64, t5, t6, 0)
+	b.Out(isa.W16, t5)
+	b.Lda(s3, s3, 2)
+	b.Branch("fetch")
+
+	// Debug paths: count the event and emit the pc (never taken in these
+	// runs, but they must exist — and must survive DCE — for the control
+	// checks to be meaningful).
+	b.Label("trace")
+	b.OpI(isa.OpADD, isa.W64, s6, s6, 1)
+	b.Out(isa.W16, s3)
+	b.Branch("fetch2")
+	b.Label("sstep")
+	b.OpI(isa.OpADD, isa.W64, s6, s6, 2)
+	b.Out(isa.W16, s3)
+	b.Branch("fetch2")
+	b.Label("watch")
+	b.OpI(isa.OpADD, isa.W64, s6, s6, 4)
+	b.Out(isa.W16, s3)
+	b.Branch("fetch2")
+
+	b.Label("vm_halt")
+	b.Halt()
+	return b.Build()
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"opgate/internal/asm"
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// BuildPerl is the perl analog: string hashing into buckets plus string
+// comparison. Characters are bytes, the rolling hash is masked to 20 bits
+// (a useful anchor on a multiply-add chain), bucket counters are 64-bit
+// words with small dynamic values, and the equality scan is a byte loop
+// with data-dependent exit.
+func BuildPerl(class InputClass) (*prog.Program, error) {
+	nstr := 60
+	slen := 24
+	seed := uint64(777)
+	if class == Ref {
+		nstr = 150
+		slen = 32
+		seed = 1234
+	}
+
+	r := newRNG(seed)
+	strs := make([]byte, nstr*slen)
+	for i := 0; i < nstr; i++ {
+		for j := 0; j < slen; j++ {
+			strs[i*slen+j] = 'a' + r.byten(26)
+		}
+		// Make some adjacent strings equal so comparisons both exit
+		// early and run to completion.
+		if i > 0 && r.intn(5) == 0 {
+			copy(strs[i*slen:(i+1)*slen], strs[(i-1)*slen:i*slen])
+		}
+	}
+
+	b := asm.NewBuilder()
+	b.Bytes("strs", strs)
+	b.Space("buckets", 64*8)
+
+	b.Func("main")
+	b.LoadAddr(s1, "strs")
+	b.LoadAddr(s2, "buckets")
+	b.Lda(s3, rz, 0) // string index
+	b.Lda(s6, rz, 0) // duplicate count
+	b.Lda(s7, rz, 0) // final hash mix
+
+	b.Label("strloop")
+	b.OpI(isa.OpMUL, isa.W64, t1, s3, int64(slen))
+	b.Op3(isa.OpADD, isa.W64, s4, s1, t1) // &strs[i]
+
+	// hash = 5381; for c in s: hash = (hash*33 + c) & 0xFFFFF
+	b.Lda(prog.RegArg0, s4, 0)
+	b.Call("hash")
+	b.Lda(s5, prog.RegRet, 0)
+
+	// buckets[hash & 63]++ — a wide counter with tiny dynamic range.
+	b.OpI(isa.OpAND, isa.W64, t2, s5, 63)
+	b.OpI(isa.OpSLL, isa.W64, t2, t2, 3)
+	b.Op3(isa.OpADD, isa.W64, t2, s2, t2)
+	b.Load(isa.W64, t3, t2, 0)
+	b.OpI(isa.OpADD, isa.W64, t3, t3, 1)
+	b.Store(isa.W64, t3, t2, 0)
+
+	// Mix the hash into the running output.
+	b.Op3(isa.OpXOR, isa.W64, s7, s7, s5)
+	b.OpI(isa.OpAND, isa.W64, s7, s7, 0xFFFFF)
+
+	// Compare with the previous string (skip for the first).
+	b.CondBranch(isa.OpBEQ, s3, "nextstr")
+	b.Lda(prog.RegArg0, s4, 0)
+	b.OpI(isa.OpSUB, isa.W64, prog.RegArg1, s4, int64(slen))
+	b.Call("streq")
+	b.Op3(isa.OpADD, isa.W64, s6, s6, prog.RegRet)
+
+	b.Label("nextstr")
+	b.OpI(isa.OpADD, isa.W64, s3, s3, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t1, s3, int64(nstr))
+	b.CondBranch(isa.OpBNE, t1, "strloop")
+
+	b.Out(isa.W32, s7)
+	b.Out(isa.W16, s6)
+	// Bucket checksum.
+	b.Lda(s3, rz, 0)
+	b.Lda(s5, rz, 0)
+	b.Label("bsum")
+	b.OpI(isa.OpSLL, isa.W64, t1, s3, 3)
+	b.Op3(isa.OpADD, isa.W64, t1, s2, t1)
+	b.Load(isa.W64, t2, t1, 0)
+	b.OpI(isa.OpMUL, isa.W64, t3, t2, 7)
+	b.Op3(isa.OpADD, isa.W64, s5, s5, t3)
+	b.OpI(isa.OpAND, isa.W64, s5, s5, 0xFFFF)
+	b.OpI(isa.OpADD, isa.W64, s3, s3, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t4, s3, 64)
+	b.CondBranch(isa.OpBNE, t4, "bsum")
+	b.Out(isa.W16, s5)
+	b.Halt()
+
+	// hash(a0 = string) -> rv: djb2 over slen bytes, masked to 20 bits.
+	b.Func("hash")
+	b.Lda(prog.RegRet, rz, 5381)
+	b.Lda(t1, rz, 0)
+	b.Label("h_loop")
+	b.Op3(isa.OpADD, isa.W64, t2, prog.RegArg0, t1)
+	b.Load(isa.W8, t3, t2, 0)
+	b.OpI(isa.OpMUL, isa.W64, prog.RegRet, prog.RegRet, 33)
+	b.Op3(isa.OpADD, isa.W64, prog.RegRet, prog.RegRet, t3)
+	b.OpI(isa.OpAND, isa.W64, prog.RegRet, prog.RegRet, 0xFFFFF)
+	b.OpI(isa.OpADD, isa.W64, t1, t1, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t4, t1, int64(slen))
+	b.CondBranch(isa.OpBNE, t4, "h_loop")
+	b.Ret()
+
+	// streq(a0, a1) -> rv: 1 when the slen-byte strings match.
+	b.Func("streq")
+	b.Lda(t1, rz, 0)
+	b.Label("e_loop")
+	b.Op3(isa.OpADD, isa.W64, t2, prog.RegArg0, t1)
+	b.Load(isa.W8, t3, t2, 0)
+	b.Op3(isa.OpADD, isa.W64, t4, prog.RegArg1, t1)
+	b.Load(isa.W8, t5, t4, 0)
+	b.Op3(isa.OpXOR, isa.W64, t6, t3, t5)
+	b.CondBranch(isa.OpBNE, t6, "e_ne")
+	b.OpI(isa.OpADD, isa.W64, t1, t1, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t7, t1, int64(slen))
+	b.CondBranch(isa.OpBNE, t7, "e_loop")
+	b.Lda(prog.RegRet, rz, 1)
+	b.Ret()
+	b.Label("e_ne")
+	b.Lda(prog.RegRet, rz, 0)
+	b.Ret()
+
+	return b.Build()
+}

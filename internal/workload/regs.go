@@ -1,0 +1,27 @@
+package workload
+
+import "opgate/internal/isa"
+
+// Register shorthands for hand-written kernels. t1..t8 are caller-saved
+// temporaries; s1..s7 are callee-saved and survive calls. The kernels keep
+// the convention that callees touch only caller-saved registers, so the
+// callee-saved set is trivially preserved (the assumption VRP's call
+// transfer relies on).
+const (
+	t1 = isa.Reg(1)
+	t2 = isa.Reg(2)
+	t3 = isa.Reg(3)
+	t4 = isa.Reg(4)
+	t5 = isa.Reg(5)
+	t6 = isa.Reg(6)
+	t7 = isa.Reg(7)
+	t8 = isa.Reg(8)
+	s1 = isa.Reg(9)
+	s2 = isa.Reg(10)
+	s3 = isa.Reg(11)
+	s4 = isa.Reg(12)
+	s5 = isa.Reg(13)
+	s6 = isa.Reg(14)
+	s7 = isa.Reg(15)
+	rz = isa.Reg(isa.ZeroReg)
+)

@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"opgate/internal/asm"
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// BuildVortex is the vortex analog: an object store of fixed-size records
+// driven by a transaction list. Records mix field widths — 32-bit ids,
+// byte flags, halfword hit counters and full 64-bit link pointers (wide
+// 5-byte addresses) — so, like the original, a large share of its traffic
+// is genuinely wide.
+//
+// Record layout (32 bytes): id word | flags byte | pad | count half |
+// link qword | payload qword | pad qword.
+func BuildVortex(class InputClass) (*prog.Program, error) {
+	nrec := 48
+	nops := 1500
+	seed := uint64(90210)
+	if class == Ref {
+		nrec = 96
+		nops = 5000
+		seed = 31337
+	}
+
+	const stride = 32
+	r := newRNG(seed)
+	recs := make([]byte, nrec*stride)
+	for i := 0; i < nrec; i++ {
+		id := uint32(1000 + i*7)
+		recs[i*stride+0] = byte(id)
+		recs[i*stride+1] = byte(id >> 8)
+		recs[i*stride+2] = byte(id >> 16)
+		recs[i*stride+3] = byte(id >> 24)
+		recs[i*stride+24] = 3 // schema version of this snapshot
+	}
+	// Transactions: (record index, action) pairs, skewed to a hot set.
+	ops := make([]byte, 2*nops)
+	for i := 0; i < nops; i++ {
+		idx := r.intn(nrec)
+		if r.intn(3) != 0 {
+			idx = r.intn(8) // hot records
+		}
+		ops[2*i] = byte(idx)
+		ops[2*i+1] = 1 << r.byten(3) // action bit 1/2/4
+	}
+
+	b := asm.NewBuilder()
+	b.Bytes("recs", recs)
+	b.Bytes("ops", ops)
+
+	b.Func("main")
+	b.LoadAddr(s1, "recs")
+	b.LoadAddr(s2, "ops")
+	b.Lda(s3, rz, 0) // op index
+	b.Lda(s6, rz, 0) // last-found record address (link source)
+	b.Lda(s7, rz, 0) // checksum
+
+	b.Label("txn")
+	b.OpI(isa.OpSLL, isa.W64, t1, s3, 1)
+	b.Op3(isa.OpADD, isa.W64, t1, s2, t1)
+	b.Load(isa.W8, t2, t1, 0) // record index
+	b.Load(isa.W8, t3, t1, 1) // action
+
+	// target id = 1000 + idx*7; then scan the table for it (vortex-style
+	// lookup rather than direct indexing).
+	b.OpI(isa.OpMUL, isa.W64, t4, t2, 7)
+	b.OpI(isa.OpADD, isa.W64, t4, t4, 1000)
+	b.Lda(t5, s1, 0) // scan pointer
+	b.Label("scan")
+	b.Load(isa.W32, t6, t5, 0) // id field
+	b.Op3(isa.OpXOR, isa.W64, t7, t6, t4)
+	b.CondBranch(isa.OpBEQ, t7, "found")
+	b.Lda(t5, t5, stride)
+	b.Branch("scan")
+
+	b.Label("found")
+	// Record-status checks before applying the transaction, as a database
+	// would: the schema version, lock bit and dirty bit all live in one
+	// status word that is exactly 3 (version 3, unlocked, clean) for every
+	// record of this snapshot — a single-value specialization point where
+	// one guard replaces three test-and-branch pairs in the clone.
+	b.Load(isa.W64, t6, t5, 24)
+	b.OpI(isa.OpAND, isa.W64, t7, t6, 0xFF) // version field
+	b.OpI(isa.OpCMPEQ, isa.W64, t7, t7, 3)
+	b.CondBranch(isa.OpBEQ, t7, "migrate")
+	b.OpI(isa.OpAND, isa.W64, t7, t6, 256) // lock bit
+	b.CondBranch(isa.OpBNE, t7, "locked")
+	b.OpI(isa.OpAND, isa.W64, t7, t6, 512) // dirty bit
+	b.CondBranch(isa.OpBNE, t7, "dirtyrec")
+	b.Label("apply")
+	// count++ (halfword), flags |= action (byte), link = previous found
+	// record's address (qword store of a 5-byte pointer).
+	b.Load(isa.W16, t6, t5, 6)
+	b.OpI(isa.OpADD, isa.W64, t6, t6, 1)
+	b.OpI(isa.OpAND, isa.W64, t6, t6, 0xFFFF)
+	b.Store(isa.W16, t6, t5, 6)
+	b.Load(isa.W8, t7, t5, 4)
+	b.Op3(isa.OpOR, isa.W64, t7, t7, t3)
+	b.Store(isa.W8, t7, t5, 4)
+	b.Store(isa.W64, s6, t5, 8) // link pointer (wide)
+	b.Lda(s6, t5, 0)
+	// payload = payload*3 + count (a wide-ish accumulator)
+	b.Load(isa.W64, t8, t5, 16)
+	b.OpI(isa.OpMUL, isa.W64, t8, t8, 3)
+	b.Op3(isa.OpADD, isa.W64, t8, t8, t6)
+	b.OpI(isa.OpAND, isa.W64, t8, t8, 0x3FFFFFFF)
+	b.Store(isa.W64, t8, t5, 16)
+
+	// checksum folds the action and count.
+	b.Op3(isa.OpADD, isa.W64, s7, s7, t6)
+	b.Op3(isa.OpADD, isa.W64, s7, s7, t3)
+	b.OpI(isa.OpAND, isa.W64, s7, s7, 0xFFFFF)
+
+	b.Label("txnend")
+	b.OpI(isa.OpADD, isa.W64, s3, s3, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t1, s3, int64(nops))
+	b.CondBranch(isa.OpBNE, t1, "txn")
+
+	b.Branch("report")
+
+	// Slow paths for abnormal record states: never taken with this
+	// snapshot, but they must exist for the status checks to mean
+	// anything.
+	b.Label("migrate")
+	b.Lda(t6, rz, 3)
+	b.Store(isa.W64, t6, t5, 24)
+	b.OpI(isa.OpADD, isa.W64, s5, s5, 1)
+	b.Branch("apply")
+	b.Label("locked")
+	b.OpI(isa.OpADD, isa.W64, s5, s5, 2)
+	b.Branch("txnend")
+	b.Label("dirtyrec")
+	b.OpI(isa.OpADD, isa.W64, s5, s5, 4)
+	b.Branch("apply")
+
+	b.Label("report")
+	b.Out(isa.W32, s7)
+	// Emit the flags of the hot records.
+	b.Lda(s3, rz, 0)
+	b.Label("fl")
+	b.OpI(isa.OpMUL, isa.W64, t1, s3, stride)
+	b.Op3(isa.OpADD, isa.W64, t1, s1, t1)
+	b.Load(isa.W8, t2, t1, 4)
+	b.Out(isa.W8, t2)
+	b.OpI(isa.OpADD, isa.W64, s3, s3, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t3, s3, 8)
+	b.CondBranch(isa.OpBNE, t3, "fl")
+	b.Halt()
+
+	return b.Build()
+}

@@ -1,0 +1,96 @@
+// Package workload provides the eight SpecInt95-analog kernels the
+// experiments run (§4.1 uses compress, gcc, go, ijpeg, li, m88ksim, perl
+// and vortex with train inputs for profiling and reference inputs for
+// evaluation). Each kernel is a complete OG64 program built with
+// asm.Builder, designed to reproduce the data-width character of its
+// namesake: byte-dominated compression and image kernels, branchy
+// interpreters over narrow state, pointer-chasing list and database codes
+// whose addresses are wide 5-byte values.
+//
+// The paper's actual SPEC binaries are unavailable (proprietary suite,
+// Alpha compiler); these kernels are the synthetic equivalents mandated by
+// the reproduction's substitution rule — what matters for the experiments
+// is the mix of narrow and wide values and realistic control flow, not the
+// specific algorithms.
+package workload
+
+import (
+	"fmt"
+
+	"opgate/internal/prog"
+)
+
+// InputClass selects the profiling (train) or evaluation (ref) input,
+// mirroring the paper's methodology ("reference inputs (and train inputs
+// to perform profiling)").
+type InputClass int
+
+// Input classes.
+const (
+	Train InputClass = iota
+	Ref
+)
+
+// String names the input class.
+func (c InputClass) String() string {
+	if c == Train {
+		return "train"
+	}
+	return "ref"
+}
+
+// Workload is one benchmark: a builder that bakes the selected input into
+// the program's data segment.
+type Workload struct {
+	Name  string
+	Build func(class InputClass) (*prog.Program, error)
+}
+
+// All returns the benchmark suite in the paper's order.
+func All() []*Workload {
+	return []*Workload{
+		{Name: "compress", Build: BuildCompress},
+		{Name: "gcc", Build: BuildGCC},
+		{Name: "go", Build: BuildGo},
+		{Name: "ijpeg", Build: BuildIJPEG},
+		{Name: "li", Build: BuildLi},
+		{Name: "m88ksim", Build: BuildM88ksim},
+		{Name: "perl", Build: BuildPerl},
+		{Name: "vortex", Build: BuildVortex},
+	}
+}
+
+// ByName looks a workload up.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// rng is a deterministic xorshift generator for input synthesis.
+type rng struct{ x uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{x: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.x ^= r.x << 13
+	r.x ^= r.x >> 7
+	r.x ^= r.x << 17
+	return r.x
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// byten returns a byte in [0, n).
+func (r *rng) byten(n int) byte { return byte(r.intn(n)) }

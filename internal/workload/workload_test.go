@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+
+	"opgate/internal/emu"
+	"opgate/internal/vrp"
+)
+
+// TestWorkloadsRun executes every kernel on both inputs and checks basic
+// health: it halts, produces output, and ref runs longer than train.
+func TestWorkloadsRun(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			var dyn [2]int64
+			for _, class := range []InputClass{Train, Ref} {
+				p, err := w.Build(class)
+				if err != nil {
+					t.Fatalf("build(%v): %v", class, err)
+				}
+				res, err := emu.Execute(p)
+				if err != nil {
+					t.Fatalf("run(%v): %v", class, err)
+				}
+				if len(res.Output) == 0 {
+					t.Errorf("%v produced no output", class)
+				}
+				if res.Dyn < 1000 {
+					t.Errorf("%v retired only %d instructions", class, res.Dyn)
+				}
+				dyn[class] = res.Dyn
+			}
+			if dyn[Ref] <= dyn[Train] {
+				t.Errorf("ref (%d) not longer than train (%d)", dyn[Ref], dyn[Train])
+			}
+		})
+	}
+}
+
+// TestWorkloadsVRPEquivalence re-encodes every kernel with both VRP modes
+// and verifies bit-identical behaviour — the paper's core correctness
+// claim ("VRP is always done in a conservative manner").
+func TestWorkloadsVRPEquivalence(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := w.Build(Ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []vrp.Mode{vrp.Conventional, vrp.Useful} {
+				r, err := vrp.Analyze(p, vrp.Options{Mode: mode})
+				if err != nil {
+					t.Fatalf("analyze(%v): %v", mode, err)
+				}
+				if err := emu.CheckEquivalence(p, r.Apply()); err != nil {
+					t.Fatalf("mode %v: %v", mode, err)
+				}
+			}
+		})
+	}
+}
+
+// TestUsefulNarrowsMore checks Fig. 2's shape: the useful analysis finds
+// at least as many narrow instructions as the conventional one on every
+// kernel, and strictly more across the suite.
+func TestUsefulNarrowsMore(t *testing.T) {
+	var conv64, useful64 int64
+	for _, w := range All() {
+		p, err := w.Build(Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := vrp.Analyze(p, vrp.Options{Mode: vrp.Conventional})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := vrp.Analyze(p, vrp.Options{Mode: vrp.Useful})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hc, hu := rc.StaticHistogram(), ru.StaticHistogram()
+		if hu.Count[3] > hc.Count[3] {
+			t.Errorf("%s: useful has MORE 64-bit instructions (%d) than conventional (%d)",
+				w.Name, hu.Count[3], hc.Count[3])
+		}
+		conv64 += hc.Count[3]
+		useful64 += hu.Count[3]
+	}
+	if useful64 >= conv64 {
+		t.Errorf("suite-wide: useful 64-bit count %d, conventional %d — useful should be lower", useful64, conv64)
+	}
+}
