@@ -228,6 +228,72 @@ func BenchmarkVRSSpecialize(b *testing.B) {
 	}
 }
 
+// countingSink tallies deliveries without per-event work: the cheapest
+// possible batch consumer, isolating the substrate's delivery cost.
+type countingSink struct{ events int64 }
+
+func (c *countingSink) Consume(batch []emu.Event) { c.events += int64(len(batch)) }
+
+// BenchmarkEmuMIPS reports emulated millions-of-instructions-per-second,
+// the metric that bounds every experiment in the evaluation. Sub-benchmarks
+// cover the raw dispatch loop (no sink), the batched sink, and the
+// per-event FuncSink adapter. The pre-refactor substrate (closure-per-step
+// + per-event callback) measured 36.1 MIPS on the same workload/machine
+// shape; the batched sink must stay ≥3× that.
+func BenchmarkEmuMIPS(b *testing.B) {
+	w, _ := workload.ByName("compress")
+	p, _ := w.Build(workload.Train)
+	variants := []struct {
+		name string
+		sink func() emu.Sink
+	}{
+		{"raw", func() emu.Sink { return nil }},
+		{"batch", func() emu.Sink { return new(countingSink) }},
+		{"callback", func() emu.Sink {
+			var n int64
+			return emu.FuncSink(func(emu.Event) { n++ })
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			m := emu.New(p)
+			m.Sink = v.sink()
+			var dyn int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Reset()
+				m.Fuel = emu.DefaultFuel
+				if err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				dyn += m.Dyn
+			}
+			b.ReportMetric(float64(dyn)/b.Elapsed().Seconds()/1e6, "MIPS")
+		})
+	}
+}
+
+// BenchmarkSuiteParallel measures the cached-cold Figure 3 matrix (every
+// workload built, analysed, and simulated twice) sequentially vs fanned
+// out over the full worker pool, making the suite-level scaling visible
+// in the bench log.
+func BenchmarkSuiteParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := harness.NewSuite(true)
+				s.Workers = cfg.workers
+				if _, err := s.Figure3(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkEmulator(b *testing.B) {
 	w, _ := workload.ByName("compress")
 	p, _ := w.Build(workload.Train)

@@ -1,0 +1,3 @@
+module opgate
+
+go 1.24

@@ -2,10 +2,19 @@
 // reference model: the binary optimizer's equivalence checks, the value and
 // basic-block profilers, and the trace-driven timing model (internal/uarch)
 // all consume its retirement stream.
+//
+// The retirement stream is delivered in batches: attach a Sink to a Machine
+// and Consume is called with slices of Events drawn from a reusable buffer
+// owned by the machine. Per-event callbacks remain one-liners via the
+// FuncSink adapter. Run executes a tight dispatch loop over a predecoded
+// form of the program; Step is a thin single-instruction wrapper for
+// debuggers and tests (it flushes its event immediately).
 package emu
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"opgate/internal/isa"
 	"opgate/internal/prog"
@@ -13,6 +22,10 @@ import (
 
 // DefaultFuel bounds execution length; workloads finish well below it.
 const DefaultFuel = 200_000_000
+
+// BatchSize is the capacity of the machine-owned event buffer: sinks see
+// batches of at most this many events.
+const BatchSize = 4096
 
 // Event describes one retired instruction for trace consumers.
 type Event struct {
@@ -24,6 +37,42 @@ type Event struct {
 	Value int64            // result value (dest write, store data, or out)
 	SrcA  int64            // value of first source operand
 	SrcB  int64            // value of second source operand / store data
+}
+
+// Sink receives the retirement stream in batches. The batch slice is owned
+// by the machine and reused: consumers must not retain it past the call
+// (copy events out if they need to).
+type Sink interface {
+	Consume(batch []Event)
+}
+
+// FuncSink adapts a per-event function to the batched Sink interface, so
+// one-off consumers stay one-liners: m.Sink = emu.FuncSink(func(ev emu.Event) {...}).
+type FuncSink func(Event)
+
+// Consume delivers each event of the batch to the wrapped function in
+// retirement order.
+func (f FuncSink) Consume(batch []Event) {
+	for i := range batch {
+		f(batch[i])
+	}
+}
+
+// decIns is the predecoded form of one static instruction: operand
+// registers, the immediate flag, and width-derived constants are resolved
+// once so the dispatch loop does no per-event re-derivation.
+type decIns struct {
+	ins    *isa.Instruction // original instruction, for events
+	imm    int64            // immediate operand / memory offset
+	zmask  int64            // zero-extension mask for the opcode width (-1 for W64)
+	target int32            // branch/call target
+	op     isa.Op
+	rd     uint8
+	ra     uint8
+	rb     uint8
+	shift  uint8 // 64 - width bits: sign-extension shift for the opcode width
+	wbytes uint8 // width in bytes
+	hasImm bool
 }
 
 // Machine is one execution context over a program.
@@ -43,8 +92,33 @@ type Machine struct {
 	// InstCount(D)). Allocated lazily by EnableCounts.
 	InsCount []int64
 
-	// Trace receives every retired instruction when non-nil.
-	Trace func(Event)
+	// Sink receives every retired instruction, in batches, when non-nil.
+	Sink Sink
+
+	dec    []decIns      // predecoded program, built lazily on first run
+	decSrc *prog.Program // program the predecode was built from
+	buf    []Event       // reusable batch buffer handed to Sink
+	dirty  []uint64      // bitmap of written memory pages, so Reset zeroes only touched pages
+}
+
+// pageShift/pageBytes size the dirty-page granularity: workload memory
+// images are large (the data base sits above 2^32 and the stack at the
+// top of an 8MB arena) but runs touch only a few pages, so Reset clears
+// the written pages instead of the whole image. All mutation goes through
+// the machine (executed stores, StoreBytes, Reset); writing Mem directly
+// would bypass the tracking.
+const (
+	pageShift = 12
+	pageBytes = 1 << pageShift
+)
+
+// markDirty records that [off, off+n) was written.
+func markDirty(dirty []uint64, off, n int64) {
+	p0 := uint64(off) >> pageShift
+	p1 := uint64(off+n-1) >> pageShift
+	for p := p0; p <= p1; p++ {
+		dirty[p>>6] |= 1 << (p & 63)
+	}
 }
 
 // New creates a machine with the program's initial memory image.
@@ -60,8 +134,31 @@ func New(p *prog.Program) *Machine {
 // the array stays small. The global pointer is pinned to DataBase and the
 // stack pointer starts at the top of memory.
 func (m *Machine) Reset() {
-	m.Mem = make([]byte, m.P.MemSize)
+	if int64(len(m.Mem)) != m.P.MemSize {
+		m.Mem = make([]byte, m.P.MemSize)
+		pages := (len(m.Mem) + pageBytes - 1) / pageBytes
+		m.dirty = make([]uint64, (pages+63)/64)
+	} else {
+		// Zero only the pages written since the last reset.
+		mem := m.Mem
+		for wi, w := range m.dirty {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << uint(b)
+				start := (wi*64 + b) << pageShift
+				end := start + pageBytes
+				if end > len(mem) {
+					end = len(mem)
+				}
+				clear(mem[start:end])
+			}
+			m.dirty[wi] = 0
+		}
+	}
 	copy(m.Mem, m.P.Data)
+	if len(m.P.Data) > 0 {
+		markDirty(m.dirty, 0, int64(len(m.P.Data)))
+	}
 	m.Regs = [isa.NumRegs]int64{}
 	m.Regs[prog.RegGP] = m.P.DataBase
 	m.Regs[prog.RegSP] = m.P.DataBase + m.P.MemSize
@@ -78,241 +175,348 @@ func (m *Machine) Reset() {
 // EnableCounts switches on per-static-instruction execution counting.
 func (m *Machine) EnableCounts() { m.InsCount = make([]int64, len(m.P.Ins)) }
 
+// decode predecodes the program into the dispatch loop's flat form. The
+// cache is keyed on the program pointer, so swapping m.P takes effect on
+// the next run; mutating m.P.Ins in place between runs is not supported.
+func (m *Machine) decode() {
+	ins := m.P.Ins
+	dec := make([]decIns, len(ins))
+	for i := range ins {
+		in := &ins[i]
+		d := &dec[i]
+		d.ins = in
+		d.op = in.Op
+		d.rd = uint8(in.Rd)
+		d.ra = uint8(in.Ra)
+		d.rb = uint8(in.Rb)
+		d.imm = in.Imm
+		d.hasImm = in.HasImm
+		d.target = int32(in.Target)
+		d.shift = uint8(64 - in.Width.Bits())
+		d.wbytes = uint8(in.Width.Bytes())
+		if in.Width == isa.W64 {
+			d.zmask = -1
+		} else {
+			d.zmask = int64(1)<<uint(in.Width.Bits()) - 1
+		}
+	}
+	m.dec = dec
+	m.decSrc = m.P
+}
+
 // Run executes until HALT, RET from the entry function, or fuel
 // exhaustion; it returns an error on traps (bad memory, bad PC, fuel).
-func (m *Machine) Run() error {
-	for !m.Halted {
-		if err := m.Step(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func (m *Machine) Run() error { return m.run(-1) }
 
-func signExtend(v int64, w isa.Width) int64 {
-	shift := uint(64 - w.Bits())
-	return v << shift >> shift
-}
+// Step executes one instruction. Its event (when a Sink is attached) is
+// delivered immediately as a one-element batch.
+func (m *Machine) Step() error { return m.run(1) }
 
-func zeroExtend(v int64, w isa.Width) int64 {
-	if w == isa.W64 {
-		return v
-	}
-	mask := int64(1)<<uint(w.Bits()) - 1
-	return v & mask
-}
+const zr = uint8(isa.ZeroReg)
 
-// Step executes one instruction.
-func (m *Machine) Step() error {
-	if m.Halted {
+// run is the dispatch loop shared by Run and Step: it executes up to limit
+// instructions (limit < 0 means until halt/trap/fuel), buffering retirement
+// events and flushing them to the Sink in batches.
+func (m *Machine) run(limit int64) error {
+	if m.Halted || limit == 0 {
 		return nil
 	}
-	if m.Fuel <= 0 {
-		return fmt.Errorf("emu: out of fuel at pc %d (infinite loop?)", m.PC)
+	if m.decSrc != m.P || len(m.dec) != len(m.P.Ins) {
+		m.decode()
 	}
-	m.Fuel--
-	if m.PC < 0 || m.PC >= len(m.P.Ins) {
-		return fmt.Errorf("emu: pc %d outside program", m.PC)
-	}
-	idx := m.PC
-	in := &m.P.Ins[idx]
-	m.Dyn++
-	if m.InsCount != nil {
-		m.InsCount[idx]++
+	record := m.Sink != nil
+	if record && m.buf == nil {
+		m.buf = make([]Event, BatchSize)
 	}
 
-	ev := Event{Idx: idx, Ins: in, Next: idx + 1}
-	ra := m.Regs[in.Ra]
-	rb := in.Imm
-	if !in.HasImm {
-		rb = m.Regs[in.Rb]
-	}
-	ev.SrcA, ev.SrcB = ra, rb
+	dec := m.dec
+	buf := m.buf
+	regs := &m.Regs
+	counts := m.InsCount
+	mem := m.Mem
+	dirty := m.dirty
+	base := m.P.DataBase
+	pc := m.PC
+	halted := false
+	n := 0 // buffered events
 
-	write := func(v int64) {
-		ev.Value = v
-		if in.Rd != isa.ZeroReg {
-			m.Regs[in.Rd] = v
-		}
-	}
-
-	switch in.Op {
-	case isa.OpLDA:
-		// LDA carries a width like the other add-class ops, so that an
-		// unsoundly narrowed constant/address materialisation is
-		// observable in equivalence tests.
-		write(signExtend(ra+in.Imm, in.Width))
-
-	case isa.OpLD:
-		addr := ra + in.Imm
-		v, err := m.load(addr, in.Width)
-		if err != nil {
-			return fmt.Errorf("emu: pc %d: %w", idx, err)
-		}
-		ev.Addr = addr
-		write(v)
-
-	case isa.OpST:
-		addr := ra + in.Imm
-		data := m.Regs[in.Rb]
-		if err := m.store(addr, data, in.Width); err != nil {
-			return fmt.Errorf("emu: pc %d: %w", idx, err)
-		}
-		ev.Addr = addr
-		ev.Value = zeroExtend(data, in.Width)
-		ev.SrcB = data
-
-	case isa.OpADD:
-		write(signExtend(ra+rb, in.Width))
-	case isa.OpSUB:
-		write(signExtend(ra-rb, in.Width))
-	case isa.OpMUL:
-		write(signExtend(ra*rb, in.Width))
-	case isa.OpAND:
-		write(signExtend(ra&rb, in.Width))
-	case isa.OpOR:
-		write(signExtend(ra|rb, in.Width))
-	case isa.OpXOR:
-		write(signExtend(ra^rb, in.Width))
-	case isa.OpBIC:
-		write(signExtend(ra&^rb, in.Width))
-	case isa.OpSLL:
-		write(signExtend(ra<<uint(rb&63), in.Width))
-	case isa.OpSRL:
-		write(signExtend(int64(uint64(ra)>>uint(rb&63)), in.Width))
-	case isa.OpSRA:
-		write(signExtend(ra>>uint(rb&63), in.Width))
-
-	case isa.OpMSKL:
-		write(zeroExtend(ra, in.Width))
-	case isa.OpEXTB:
-		write((ra >> uint(8*(rb&7))) & 0xFF)
-	case isa.OpSEXT:
-		write(signExtend(ra, in.Width))
-
-	case isa.OpCMPEQ:
-		write(b2i(cmpOperand(ra, in.Width) == cmpOperand(rb, in.Width)))
-	case isa.OpCMPLT:
-		write(b2i(cmpOperand(ra, in.Width) < cmpOperand(rb, in.Width)))
-	case isa.OpCMPLE:
-		write(b2i(cmpOperand(ra, in.Width) <= cmpOperand(rb, in.Width)))
-	case isa.OpCMPULT:
-		write(b2i(uint64(cmpOperand(ra, in.Width)) < uint64(cmpOperand(rb, in.Width))))
-	case isa.OpCMPULE:
-		write(b2i(uint64(cmpOperand(ra, in.Width)) <= uint64(cmpOperand(rb, in.Width))))
-
-	case isa.OpCMOVEQ, isa.OpCMOVNE, isa.OpCMOVLT, isa.OpCMOVGE:
-		cond := false
-		switch in.Op {
-		case isa.OpCMOVEQ:
-			cond = ra == 0
-		case isa.OpCMOVNE:
-			cond = ra != 0
-		case isa.OpCMOVLT:
-			cond = ra < 0
-		case isa.OpCMOVGE:
-			cond = ra >= 0
-		}
-		if cond {
-			write(signExtend(rb, in.Width))
-		} else {
-			ev.Value = m.Regs[in.Rd]
-		}
-
-	case isa.OpBR:
-		ev.Next = in.Target
-		ev.Taken = true
-	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBGT, isa.OpBLE:
-		taken := false
-		switch in.Op {
-		case isa.OpBEQ:
-			taken = ra == 0
-		case isa.OpBNE:
-			taken = ra != 0
-		case isa.OpBLT:
-			taken = ra < 0
-		case isa.OpBGE:
-			taken = ra >= 0
-		case isa.OpBGT:
-			taken = ra > 0
-		case isa.OpBLE:
-			taken = ra <= 0
-		}
-		if taken {
-			ev.Next = in.Target
-		}
-		ev.Taken = taken
-	case isa.OpJSR:
-		write(int64(idx + 1))
-		ev.Next = in.Target
-		ev.Taken = true
-	case isa.OpRET:
-		ev.Next = int(ra)
-		ev.Taken = true
-	case isa.OpHALT:
-		m.Halted = true
-		ev.Next = idx
-	case isa.OpOUT:
-		v := zeroExtend(ra, in.Width)
-		for i := 0; i < in.Width.Bytes(); i++ {
-			m.Output = append(m.Output, byte(uint64(v)>>(8*uint(i))))
-		}
-		ev.Value = v
-
-	default:
-		return fmt.Errorf("emu: pc %d: unimplemented opcode %v", idx, in.Op)
+	budget := m.Fuel
+	if limit >= 0 && limit < budget {
+		budget = limit
 	}
 
-	if m.Trace != nil {
-		m.Trace(ev)
+	var executed int64
+	var runErr error
+	var scratch Event // event target when no sink is attached
+
+loop:
+	for executed < budget {
+		if pc < 0 || pc >= len(dec) {
+			runErr = fmt.Errorf("emu: pc %d outside program", pc)
+			break
+		}
+		d := &dec[pc]
+		idx := pc
+		executed++
+		if counts != nil {
+			counts[idx]++
+		}
+
+		ra := regs[d.ra&31]
+		rb := d.imm
+		if !d.hasImm {
+			rb = regs[d.rb&31]
+		}
+		// Cases write Addr/Taken/SrcB straight into the event slot (the
+		// scratch event absorbs them when no sink is attached).
+		ev := &scratch
+		if record {
+			ev = &buf[n]
+			*ev = Event{Idx: idx, Ins: d.ins, SrcA: ra, SrcB: rb}
+		}
+		next := idx + 1
+		wr := false
+		var val int64
+
+		switch d.op {
+		case isa.OpLDA:
+			// LDA carries a width like the other add-class ops, so that an
+			// unsoundly narrowed constant/address materialisation is
+			// observable in equivalence tests.
+			sh := d.shift
+			val = (ra + d.imm) << sh >> sh
+			wr = true
+
+		case isa.OpLD:
+			addr := ra + d.imm
+			off := addr - base
+			nb := int64(d.wbytes)
+			if off < 0 || off+nb > int64(len(mem)) {
+				runErr = fmt.Errorf("emu: pc %d: load of %d bytes at %#x out of bounds", idx, nb, addr)
+				break loop
+			}
+			ev.Addr = addr
+			switch d.wbytes {
+			case 1:
+				val = int64(mem[off]) // zero-extended, like Alpha LDBU
+			case 2:
+				val = int64(binary.LittleEndian.Uint16(mem[off:]))
+			case 4:
+				val = int64(int32(binary.LittleEndian.Uint32(mem[off:]))) // sign-extended, like Alpha LDL
+			default:
+				val = int64(binary.LittleEndian.Uint64(mem[off:]))
+			}
+			wr = true
+
+		case isa.OpST:
+			addr := ra + d.imm
+			data := regs[d.rb&31]
+			off := addr - base
+			nb := int64(d.wbytes)
+			if off < 0 || off+nb > int64(len(mem)) {
+				runErr = fmt.Errorf("emu: pc %d: store of %d bytes at %#x out of bounds", idx, nb, addr)
+				break loop
+			}
+			ev.Addr = addr
+			ev.SrcB = data
+			switch d.wbytes {
+			case 1:
+				mem[off] = byte(data)
+			case 2:
+				binary.LittleEndian.PutUint16(mem[off:], uint16(data))
+			case 4:
+				binary.LittleEndian.PutUint32(mem[off:], uint32(data))
+			default:
+				binary.LittleEndian.PutUint64(mem[off:], uint64(data))
+			}
+			p0 := uint64(off) >> pageShift
+			dirty[p0>>6] |= 1 << (p0 & 63)
+			if p1 := uint64(off+nb-1) >> pageShift; p1 != p0 {
+				dirty[p1>>6] |= 1 << (p1 & 63)
+			}
+			val = data & d.zmask
+
+		case isa.OpADD:
+			sh := d.shift
+			val = (ra + rb) << sh >> sh
+			wr = true
+		case isa.OpSUB:
+			sh := d.shift
+			val = (ra - rb) << sh >> sh
+			wr = true
+		case isa.OpMUL:
+			sh := d.shift
+			val = (ra * rb) << sh >> sh
+			wr = true
+		case isa.OpAND:
+			sh := d.shift
+			val = (ra & rb) << sh >> sh
+			wr = true
+		case isa.OpOR:
+			sh := d.shift
+			val = (ra | rb) << sh >> sh
+			wr = true
+		case isa.OpXOR:
+			sh := d.shift
+			val = (ra ^ rb) << sh >> sh
+			wr = true
+		case isa.OpBIC:
+			sh := d.shift
+			val = (ra &^ rb) << sh >> sh
+			wr = true
+		case isa.OpSLL:
+			sh := d.shift
+			val = (ra << uint(rb&63)) << sh >> sh
+			wr = true
+		case isa.OpSRL:
+			sh := d.shift
+			val = int64(uint64(ra)>>uint(rb&63)) << sh >> sh
+			wr = true
+		case isa.OpSRA:
+			sh := d.shift
+			val = (ra >> uint(rb&63)) << sh >> sh
+			wr = true
+
+		case isa.OpMSKL:
+			val = ra & d.zmask
+			wr = true
+		case isa.OpEXTB:
+			val = (ra >> uint(8*(rb&7))) & 0xFF
+			wr = true
+		case isa.OpSEXT:
+			sh := d.shift
+			val = ra << sh >> sh
+			wr = true
+
+		case isa.OpCMPEQ:
+			sh := d.shift
+			val = b2i(ra<<sh>>sh == rb<<sh>>sh)
+			wr = true
+		case isa.OpCMPLT:
+			sh := d.shift
+			val = b2i(ra<<sh>>sh < rb<<sh>>sh)
+			wr = true
+		case isa.OpCMPLE:
+			sh := d.shift
+			val = b2i(ra<<sh>>sh <= rb<<sh>>sh)
+			wr = true
+		case isa.OpCMPULT:
+			sh := d.shift
+			val = b2i(uint64(ra<<sh>>sh) < uint64(rb<<sh>>sh))
+			wr = true
+		case isa.OpCMPULE:
+			sh := d.shift
+			val = b2i(uint64(ra<<sh>>sh) <= uint64(rb<<sh>>sh))
+			wr = true
+
+		case isa.OpCMOVEQ, isa.OpCMOVNE, isa.OpCMOVLT, isa.OpCMOVGE:
+			cond := false
+			switch d.op {
+			case isa.OpCMOVEQ:
+				cond = ra == 0
+			case isa.OpCMOVNE:
+				cond = ra != 0
+			case isa.OpCMOVLT:
+				cond = ra < 0
+			case isa.OpCMOVGE:
+				cond = ra >= 0
+			}
+			if cond {
+				sh := d.shift
+				val = rb << sh >> sh
+				wr = true
+			} else {
+				val = regs[d.rd&31] // old destination value, preserved
+			}
+
+		case isa.OpBR:
+			next = int(d.target)
+			ev.Taken = true
+		case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBGT, isa.OpBLE:
+			taken := false
+			switch d.op {
+			case isa.OpBEQ:
+				taken = ra == 0
+			case isa.OpBNE:
+				taken = ra != 0
+			case isa.OpBLT:
+				taken = ra < 0
+			case isa.OpBGE:
+				taken = ra >= 0
+			case isa.OpBGT:
+				taken = ra > 0
+			case isa.OpBLE:
+				taken = ra <= 0
+			}
+			if taken {
+				next = int(d.target)
+			}
+			ev.Taken = taken
+		case isa.OpJSR:
+			val = int64(idx + 1)
+			wr = true
+			next = int(d.target)
+			ev.Taken = true
+		case isa.OpRET:
+			next = int(ra)
+			ev.Taken = true
+		case isa.OpHALT:
+			halted = true
+			next = idx
+		case isa.OpOUT:
+			val = ra & d.zmask
+			for i := 0; i < int(d.wbytes); i++ {
+				m.Output = append(m.Output, byte(uint64(val)>>(8*uint(i))))
+			}
+
+		default:
+			runErr = fmt.Errorf("emu: pc %d: unimplemented opcode %v", idx, d.op)
+			break loop
+		}
+
+		if wr && d.rd != zr {
+			regs[d.rd&31] = val
+		}
+		if record {
+			ev.Next = next
+			ev.Value = val
+			n++
+			if n == len(buf) {
+				m.Sink.Consume(buf)
+				n = 0
+			}
+		}
+		pc = next
+		if halted {
+			break
+		}
 	}
-	m.PC = ev.Next
+
+	// Commit architectural state and flush the retired events. An
+	// instruction that trapped mid-execution (bad memory, bad opcode)
+	// consumed fuel and counted towards Dyn but produced no event; an
+	// out-of-range PC traps before any of that.
+	m.PC = pc
+	m.Dyn += executed
+	m.Fuel -= executed
+	m.Halted = halted
+	if record && n > 0 {
+		m.Sink.Consume(buf[:n])
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if !halted && (limit < 0 || executed < limit) {
+		return fmt.Errorf("emu: out of fuel at pc %d (infinite loop?)", pc)
+	}
 	return nil
 }
-
-// cmpOperand narrows a comparison operand to the opcode width. VRP only
-// assigns a narrow compare when both operand ranges fit the width, so
-// narrowing is semantics-preserving for analysed programs while making
-// unsound width assignments observable in tests.
-func cmpOperand(v int64, w isa.Width) int64 { return signExtend(v, w) }
 
 func b2i(b bool) int64 {
 	if b {
 		return 1
 	}
 	return 0
-}
-
-func (m *Machine) load(addr int64, w isa.Width) (int64, error) {
-	n := int64(w.Bytes())
-	off := addr - m.P.DataBase
-	if off < 0 || off+n > int64(len(m.Mem)) {
-		return 0, fmt.Errorf("load of %d bytes at %#x out of bounds", n, addr)
-	}
-	var v uint64
-	for i := int64(0); i < n; i++ {
-		v |= uint64(m.Mem[off+i]) << (8 * uint(i))
-	}
-	switch w {
-	case isa.W8, isa.W16:
-		return int64(v), nil // zero-extended, like Alpha LDBU/LDWU
-	case isa.W32:
-		return int64(int32(uint32(v))), nil // sign-extended, like Alpha LDL
-	default:
-		return int64(v), nil
-	}
-}
-
-func (m *Machine) store(addr, v int64, w isa.Width) error {
-	n := int64(w.Bytes())
-	off := addr - m.P.DataBase
-	if off < 0 || off+n > int64(len(m.Mem)) {
-		return fmt.Errorf("store of %d bytes at %#x out of bounds", n, addr)
-	}
-	for i := int64(0); i < n; i++ {
-		m.Mem[off+i] = byte(uint64(v) >> (8 * uint(i)))
-	}
-	return nil
 }
 
 // LoadBytes copies out a memory region by virtual address (for tests and
@@ -335,5 +539,8 @@ func (m *Machine) StoreBytes(addr int64, data []byte) error {
 		return fmt.Errorf("emu: write of %d bytes at %#x out of bounds", len(data), addr)
 	}
 	copy(m.Mem[off:], data)
+	if len(data) > 0 {
+		markDirty(m.dirty, off, int64(len(data)))
+	}
 	return nil
 }

@@ -207,7 +207,7 @@ buf: .space 16
 	}
 	m := emu.New(p)
 	var events []emu.Event
-	m.Trace = func(ev emu.Event) { events = append(events, ev) }
+	m.Sink = emu.FuncSink(func(ev emu.Event) { events = append(events, ev) })
 	if err := m.Run(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,15 @@
 package emu
 
 import (
+	"math/bits"
 	"sort"
 )
+
+// tnvCacheWays is the size of the inline hit-cache in front of the TNV
+// map: value profiling is dominated by a handful of hot values (that is
+// the premise of the top-N-values scheme), so a tiny move-to-front array
+// of counter pointers absorbs almost every Record without a map lookup.
+const tnvCacheWays = 4
 
 // TNVTable is the fixed-size top-N-values profiling table of Calder et al.
 // (the scheme §3.3 adopts): each profiled value is looked up; hits bump a
@@ -13,8 +20,13 @@ type TNVTable struct {
 	Capacity   int
 	Interval   int // events between cleanings
 	Total      int64
-	entries    map[int64]int64
+	entries    map[int64]*int64
 	sinceClean int
+
+	// Inline hit-cache: the most recently hit values with pointers to
+	// their counters, move-to-front. Invalidated on clean().
+	cacheVal [tnvCacheWays]int64
+	cacheCnt [tnvCacheWays]*int64
 
 	// Width histogram: counts and extreme values per significant-byte
 	// size (index 1..8). The TNV entries capture frequent single values;
@@ -38,7 +50,7 @@ func NewTNVTable(capacity, interval int) *TNVTable {
 	return &TNVTable{
 		Capacity: capacity,
 		Interval: interval,
-		entries:  make(map[int64]int64, capacity),
+		entries:  make(map[int64]*int64, capacity),
 	}
 }
 
@@ -46,10 +58,11 @@ func NewTNVTable(capacity, interval int) *TNVTable {
 func (t *TNVTable) Record(v int64) {
 	t.Total++
 	t.sinceClean++
-	if c, ok := t.entries[v]; ok {
-		t.entries[v] = c + 1
-	} else if len(t.entries) < t.Capacity {
-		t.entries[v] = 1
+	// Frequent-value fast path: the head of the hit-cache.
+	if c := t.cacheCnt[0]; c != nil && t.cacheVal[0] == v {
+		*c++
+	} else {
+		t.recordSlow(v)
 	}
 	w := significantBytes(v)
 	if t.widthCount[w] == 0 || v < t.widthMin[w] {
@@ -64,15 +77,49 @@ func (t *TNVTable) Record(v int64) {
 	}
 }
 
-// significantBytes mirrors power.SignificantBytes without the import.
-func significantBytes(v int64) int {
-	for k := 1; k < 8; k++ {
-		shift := uint(64 - 8*k)
-		if v<<shift>>shift == v {
-			return k
+// recordSlow handles cache-tail hits, map hits, and inserts.
+func (t *TNVTable) recordSlow(v int64) {
+	for i := 1; i < tnvCacheWays; i++ {
+		if c := t.cacheCnt[i]; c != nil && t.cacheVal[i] == v {
+			*c++
+			t.promote(i, v, c)
+			return
 		}
 	}
-	return 8
+	if c, ok := t.entries[v]; ok {
+		*c++
+		t.promote(tnvCacheWays-1, v, c)
+		return
+	}
+	if len(t.entries) < t.Capacity {
+		c := new(int64)
+		*c = 1
+		t.entries[v] = c
+		t.promote(tnvCacheWays-1, v, c)
+	}
+}
+
+// promote moves a (value, counter) pair to the front of the hit-cache,
+// shifting entries above position i down one slot.
+func (t *TNVTable) promote(i int, v int64, c *int64) {
+	copy(t.cacheVal[1:i+1], t.cacheVal[:i])
+	copy(t.cacheCnt[1:i+1], t.cacheCnt[:i])
+	t.cacheVal[0] = v
+	t.cacheCnt[0] = c
+}
+
+// significantBytes mirrors power.SignificantBytes without the import: the
+// smallest k such that sign-extending v from 8k bits is the identity.
+func significantBytes(v int64) int {
+	u := uint64(v)
+	if v < 0 {
+		u = ^u
+	}
+	k := bits.Len64(u)/8 + 1
+	if k > 8 {
+		k = 8
+	}
+	return k
 }
 
 // clean evicts the least frequently used half of the table.
@@ -85,6 +132,9 @@ func (t *TNVTable) clean() {
 	for i := len(vals) / 2; i < len(vals); i++ {
 		delete(t.entries, vals[i].Value)
 	}
+	// Cached counter pointers may now point at evicted entries; drop them.
+	t.cacheVal = [tnvCacheWays]int64{}
+	t.cacheCnt = [tnvCacheWays]*int64{}
 }
 
 // ValueCount is one profiled value with its observed frequency.
@@ -98,7 +148,7 @@ type ValueCount struct {
 func (t *TNVTable) Entries() []ValueCount {
 	out := make([]ValueCount, 0, len(t.entries))
 	for v, c := range t.entries {
-		out = append(out, ValueCount{v, c})
+		out = append(out, ValueCount{v, *c})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Count != out[j].Count {
@@ -171,16 +221,25 @@ func NewProfiler(points []int) *Profiler {
 	return p
 }
 
-// Attach hooks the profiler into a machine's trace stream. Any previous
-// trace function is chained.
+// Attach hooks the profiler into a machine's retirement stream. Any
+// previously installed sink keeps receiving the batches, after the
+// profiler has recorded them.
 func (p *Profiler) Attach(m *Machine) {
-	prev := m.Trace
-	m.Trace = func(ev Event) {
-		if t, ok := p.Points[ev.Idx]; ok {
-			t.Record(ev.Value)
+	m.Sink = &profilerSink{points: p.Points, next: m.Sink}
+}
+
+type profilerSink struct {
+	points map[int]*TNVTable
+	next   Sink
+}
+
+func (s *profilerSink) Consume(batch []Event) {
+	for i := range batch {
+		if t, ok := s.points[batch[i].Idx]; ok {
+			t.Record(batch[i].Value)
 		}
-		if prev != nil {
-			prev(ev)
-		}
+	}
+	if s.next != nil {
+		s.next.Consume(batch)
 	}
 }

@@ -1,0 +1,179 @@
+package emu_test
+
+import (
+	"reflect"
+	"testing"
+
+	"opgate/internal/asm"
+	"opgate/internal/emu"
+	"opgate/internal/prog"
+	"opgate/internal/workload"
+)
+
+// collector retains a copy of every event it consumes, plus the batch
+// sizes it saw (the batch slice itself is machine-owned and reused).
+type collector struct {
+	events  []emu.Event
+	batches []int
+}
+
+func (c *collector) Consume(batch []emu.Event) {
+	c.events = append(c.events, batch...)
+	c.batches = append(c.batches, len(batch))
+}
+
+// branchyProgram exercises every event field: memory traffic, taken and
+// not-taken branches, calls, and output.
+const branchyProgram = `
+.data
+buf: .space 64
+.text
+.func main
+	lda r1, =buf
+	lda r2, 0(rz)
+loop:
+	st.w r2, 0(r1)
+	ld.w r3, 0(r1)
+	jsr bump
+	add r2, r2, #1
+	cmplt r4, r2, #10
+	bne r4, loop
+	out.b r2
+	halt
+.func bump
+	add r5, r5, #2
+	ret
+`
+
+// TestBatchedRunMatchesStepStream is the tentpole equivalence check: the
+// batched Run dispatch loop must deliver byte-for-byte the same event
+// stream as executing the same program one Step at a time (each Step
+// flushes its event immediately, which is the legacy per-event shape).
+func TestBatchedRunMatchesStepStream(t *testing.T) {
+	programs := map[string]func(t *testing.T) *prog.Program{
+		"branchy": func(t *testing.T) *prog.Program { return assembleProg(t, branchyProgram) },
+		"compress": func(t *testing.T) *prog.Program {
+			w, err := workload.ByName("compress")
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := w.Build(workload.Train)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		},
+	}
+	for name, build := range programs {
+		t.Run(name, func(t *testing.T) {
+			p := build(t)
+
+			var batched collector
+			mb := emu.New(p)
+			mb.Sink = &batched
+			if err := mb.Run(); err != nil {
+				t.Fatal(err)
+			}
+
+			var stepped collector
+			ms := emu.New(p)
+			ms.Sink = &stepped
+			for !ms.Halted {
+				if err := ms.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			if len(batched.events) != len(stepped.events) {
+				t.Fatalf("batched run delivered %d events, stepped run %d",
+					len(batched.events), len(stepped.events))
+			}
+			for i := range batched.events {
+				if !reflect.DeepEqual(batched.events[i], stepped.events[i]) {
+					t.Fatalf("event %d differs:\nbatched: %+v\nstepped: %+v",
+						i, batched.events[i], stepped.events[i])
+				}
+			}
+			// Every stepped batch is a single event; the batched run must
+			// have actually used multi-event batches.
+			for _, n := range stepped.batches {
+				if n != 1 {
+					t.Fatalf("Step delivered a batch of %d events, want 1", n)
+				}
+			}
+			if len(batched.events) > 1 {
+				max := 0
+				for _, n := range batched.batches {
+					if n > max {
+						max = n
+					}
+				}
+				if max < 2 {
+					t.Fatalf("Run delivered %d events but no batch larger than %d — batching is not happening",
+						len(batched.events), max)
+				}
+			}
+			if mb.Dyn != ms.Dyn || !reflect.DeepEqual(mb.Regs, ms.Regs) {
+				t.Fatalf("architectural state diverged: dyn %d vs %d", mb.Dyn, ms.Dyn)
+			}
+		})
+	}
+}
+
+// TestFuncSinkMatchesBatchOrder: the per-event adapter sees the identical
+// stream in the identical order as a batch consumer.
+func TestFuncSinkMatchesBatchOrder(t *testing.T) {
+	p := assembleProg(t, branchyProgram)
+
+	var batched collector
+	mb := emu.New(p)
+	mb.Sink = &batched
+	if err := mb.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var viaFunc []emu.Event
+	mf := emu.New(p)
+	mf.Sink = emu.FuncSink(func(ev emu.Event) { viaFunc = append(viaFunc, ev) })
+	if err := mf.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(batched.events, viaFunc) {
+		t.Fatalf("FuncSink stream differs from batch stream (%d vs %d events)",
+			len(batched.events), len(viaFunc))
+	}
+}
+
+// TestResetReusesMemoryImage: after a run dirtied memory, Reset must
+// restore the exact initial image (the dirty-page tracking must not leave
+// stale bytes behind).
+func TestResetReusesMemoryImage(t *testing.T) {
+	p := assembleProg(t, branchyProgram)
+	m := emu.New(p)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), m.Output...)
+
+	m.Reset()
+	fresh := emu.New(p)
+	if !reflect.DeepEqual(m.Mem, fresh.Mem) {
+		t.Fatal("Reset left stale memory compared to a fresh machine")
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Output, first) {
+		t.Fatalf("second run output %x differs from first %x", m.Output, first)
+	}
+}
+
+func assembleProg(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -29,41 +29,48 @@ func (s *Suite) AblationOpcodeSets() (*Report, error) {
 		Columns: []string{"energy saved", "64-bit share"},
 		Percent: true,
 	}
+	type point struct {
+		saved float64
+		hist  vrp.WidthHistogram
+	}
 	for _, cfg := range sets {
-		var savedSum float64
-		var hist vrp.WidthHistogram
-		for _, name := range s.Names() {
+		points, err := mapNames(s, func(name string) (point, error) {
+			var pt point
 			p, err := s.Program(name, s.evalClass())
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			r, err := vrp.Analyze(p, vrp.Options{Mode: vrp.Useful, Opcodes: cfg.set})
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			q := r.Apply()
 			base, err := s.Baseline(name)
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
 			g, err := uarch.Run(q, s.Uarch, s.Power, power.GateSoftware)
 			if err != nil {
-				return nil, err
+				return pt, err
 			}
-			_, total := power.Savings(base.Energy, g.Energy)
-			savedSum += total
-
-			h, err := dynHistogramOf(q)
-			if err != nil {
-				return nil, err
-			}
+			_, pt.saved = power.Savings(base.Energy, g.Energy)
+			pt.hist, err = dynHistogramOf(q)
+			return pt, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var savedSum float64
+		var hist vrp.WidthHistogram
+		for _, pt := range points {
+			savedSum += pt.saved
 			for i := 0; i < 4; i++ {
-				hist.Count[i] += h.Count[i]
+				hist.Count[i] += pt.hist.Count[i]
 			}
 		}
 		rep.Rows = append(rep.Rows, Row{
 			Label:  cfg.label,
-			Values: []float64{savedSum / float64(len(s.Names())), hist.Fraction(3)},
+			Values: []float64{savedSum / float64(len(points)), hist.Fraction(3)},
 		})
 	}
 	rep.Note = "the paper's set should capture most of the ideal set's benefit (§4.3: few 16-bit ops, MUL not worth encoding)"
@@ -93,20 +100,23 @@ func (s *Suite) AblationAnalysis() (*Report, error) {
 		Percent: true,
 	}
 	for _, cfg := range configs {
-		var hist vrp.WidthHistogram
-		for _, name := range s.Names() {
+		hists, err := mapNames(s, func(name string) (vrp.WidthHistogram, error) {
+			var h vrp.WidthHistogram
 			p, err := s.Program(name, s.evalClass())
 			if err != nil {
-				return nil, err
+				return h, err
 			}
 			r, err := vrp.Analyze(p, cfg.opts)
 			if err != nil {
-				return nil, err
+				return h, err
 			}
-			h, err := dynHistogramOf(r.Apply())
-			if err != nil {
-				return nil, err
-			}
+			return dynHistogramOf(r.Apply())
+		})
+		if err != nil {
+			return nil, err
+		}
+		var hist vrp.WidthHistogram
+		for _, h := range hists {
 			for i := 0; i < 4; i++ {
 				hist.Count[i] += h.Count[i]
 			}
@@ -121,11 +131,7 @@ func (s *Suite) AblationAnalysis() (*Report, error) {
 func dynHistogramOf(p *prog.Program) (vrp.WidthHistogram, error) {
 	var h vrp.WidthHistogram
 	m := emu.New(p)
-	m.Trace = func(ev emu.Event) {
-		if vrp.CountsWidth(ev.Ins.Op) {
-			h.Add(ev.Ins.Width, 1)
-		}
-	}
+	m.Sink = widthSink{&h}
 	if err := m.Run(); err != nil {
 		return h, err
 	}

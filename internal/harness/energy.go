@@ -7,29 +7,64 @@ import (
 // perStructureSavings averages per-structure energy savings over the suite
 // for one (variant, mode) configuration.
 func (s *Suite) perStructureSavings(variant string, mode power.GatingMode) ([power.NumStructures]float64, float64, error) {
+	type saving struct {
+		per   [power.NumStructures]float64
+		total float64
+	}
 	var sum [power.NumStructures]float64
-	var sumTotal float64
-	names := s.Names()
-	for _, name := range names {
+	savings, err := mapNames(s, func(name string) (saving, error) {
+		var sv saving
 		base, err := s.Baseline(name)
 		if err != nil {
-			return sum, 0, err
+			return sv, err
 		}
 		g, err := s.Sim(name, variant, mode)
 		if err != nil {
-			return sum, 0, err
+			return sv, err
 		}
-		per, total := power.Savings(base.Energy, g.Energy)
-		for i := range per {
-			sum[i] += per[i]
-		}
-		sumTotal += total
+		sv.per, sv.total = power.Savings(base.Energy, g.Energy)
+		return sv, nil
+	})
+	if err != nil {
+		return sum, 0, err
 	}
-	n := float64(len(names))
+	var sumTotal float64
+	for _, sv := range savings {
+		for i := range sv.per {
+			sum[i] += sv.per[i]
+		}
+		sumTotal += sv.total
+	}
+	n := float64(len(savings))
 	for i := range sum {
 		sum[i] /= n
 	}
 	return sum, sumTotal / n, nil
+}
+
+// perBenchmarkRows fans fn out across the workload suite, then appends one
+// row per benchmark in suite order plus an AVG row averaging each column.
+func perBenchmarkRows(s *Suite, rep *Report, fn func(name string) ([]float64, error)) error {
+	rows, err := mapNames(s, fn)
+	if err != nil {
+		return err
+	}
+	var avg []float64
+	for i, name := range s.Names() {
+		vals := rows[i]
+		rep.Rows = append(rep.Rows, Row{Label: name, Values: vals})
+		if avg == nil {
+			avg = make([]float64, len(vals))
+		}
+		for j, v := range vals {
+			avg[j] += v
+		}
+	}
+	for j := range avg {
+		avg[j] /= float64(len(rows))
+	}
+	rep.Rows = append(rep.Rows, Row{Label: "AVG", Values: avg})
+	return nil
 }
 
 // structureColumns is the x-axis of Figs. 3, 9 and 14.
@@ -74,8 +109,7 @@ func (s *Suite) Figure8() (*Report, error) {
 		Columns: []string{"VRP", "VRS 110nJ", "VRS 90nJ", "VRS 70nJ", "VRS 50nJ", "VRS 30nJ"},
 		Percent: true,
 	}
-	var avg []float64
-	for _, name := range s.Names() {
+	err := perBenchmarkRows(s, rep, func(name string) ([]float64, error) {
 		var vals []float64
 		v, err := s.EnergySaving(name, "vrp", power.GateSoftware)
 		if err != nil {
@@ -89,18 +123,11 @@ func (s *Suite) Figure8() (*Report, error) {
 			}
 			vals = append(vals, v)
 		}
-		rep.Rows = append(rep.Rows, Row{Label: name, Values: vals})
-		if avg == nil {
-			avg = make([]float64, len(vals))
-		}
-		for i, v := range vals {
-			avg[i] += v
-		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := range avg {
-		avg[i] /= float64(len(s.Names()))
-	}
-	rep.Rows = append(rep.Rows, Row{Label: "AVG", Values: avg})
 	return rep, nil
 }
 
@@ -138,8 +165,7 @@ func (s *Suite) Figure10() (*Report, error) {
 	for _, th := range Thresholds {
 		rep.Columns = append(rep.Columns, "VRS "+itoa(int(th))+"nJ")
 	}
-	var avg []float64
-	for _, name := range s.Names() {
+	err := perBenchmarkRows(s, rep, func(name string) ([]float64, error) {
 		base, err := s.Baseline(name)
 		if err != nil {
 			return nil, err
@@ -152,18 +178,11 @@ func (s *Suite) Figure10() (*Report, error) {
 			}
 			vals = append(vals, 1-float64(g.Cycles)/float64(base.Cycles))
 		}
-		rep.Rows = append(rep.Rows, Row{Label: name, Values: vals})
-		if avg == nil {
-			avg = make([]float64, len(vals))
-		}
-		for i, v := range vals {
-			avg[i] += v
-		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := range avg {
-		avg[i] /= float64(len(s.Names()))
-	}
-	rep.Rows = append(rep.Rows, Row{Label: "AVG", Values: avg})
 	return rep, nil
 }
 
@@ -175,8 +194,7 @@ func (s *Suite) Figure11() (*Report, error) {
 		Columns: []string{"VRP", "VRS 110nJ", "VRS 90nJ", "VRS 70nJ", "VRS 50nJ", "VRS 30nJ"},
 		Percent: true,
 	}
-	var avg []float64
-	for _, name := range s.Names() {
+	err := perBenchmarkRows(s, rep, func(name string) ([]float64, error) {
 		var vals []float64
 		v, err := s.ED2Saving(name, "vrp", power.GateSoftware)
 		if err != nil {
@@ -190,18 +208,11 @@ func (s *Suite) Figure11() (*Report, error) {
 			}
 			vals = append(vals, v)
 		}
-		rep.Rows = append(rep.Rows, Row{Label: name, Values: vals})
-		if avg == nil {
-			avg = make([]float64, len(vals))
-		}
-		for i, v := range vals {
-			avg[i] += v
-		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := range avg {
-		avg[i] /= float64(len(s.Names()))
-	}
-	rep.Rows = append(rep.Rows, Row{Label: "AVG", Values: avg})
 	return rep, nil
 }
 
@@ -214,8 +225,7 @@ func (s *Suite) Figure13() (*Report, error) {
 		Columns: []string{"size compression", "significance compression"},
 		Percent: true,
 	}
-	var avg [2]float64
-	for _, name := range s.Names() {
+	err := perBenchmarkRows(s, rep, func(name string) ([]float64, error) {
 		vSize, err := s.EnergySaving(name, "base", power.GateHWSize)
 		if err != nil {
 			return nil, err
@@ -224,12 +234,11 @@ func (s *Suite) Figure13() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep.Rows = append(rep.Rows, Row{Label: name, Values: []float64{vSize, vSig}})
-		avg[0] += vSize
-		avg[1] += vSig
+		return []float64{vSize, vSig}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	rep.Rows = append(rep.Rows, Row{Label: "AVG",
-		Values: []float64{avg[0] / 8, avg[1] / 8}})
 	return rep, nil
 }
 
@@ -282,8 +291,7 @@ func (s *Suite) Figure15(threshold float64) (*Report, error) {
 	for _, c := range configs {
 		rep.Columns = append(rep.Columns, c.label)
 	}
-	var avg []float64
-	for _, name := range s.Names() {
+	err := perBenchmarkRows(s, rep, func(name string) ([]float64, error) {
 		var vals []float64
 		for _, c := range configs {
 			v, err := s.ED2Saving(name, c.variant, c.mode)
@@ -292,17 +300,10 @@ func (s *Suite) Figure15(threshold float64) (*Report, error) {
 			}
 			vals = append(vals, v)
 		}
-		rep.Rows = append(rep.Rows, Row{Label: name, Values: vals})
-		if avg == nil {
-			avg = make([]float64, len(vals))
-		}
-		for i, v := range vals {
-			avg[i] += v
-		}
+		return vals, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := range avg {
-		avg[i] /= float64(len(s.Names()))
-	}
-	rep.Rows = append(rep.Rows, Row{Label: "AVG", Values: avg})
 	return rep, nil
 }

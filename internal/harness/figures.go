@@ -12,19 +12,24 @@ import (
 // the suite. The proposed analysis must find strictly more narrow
 // instructions.
 func (s *Suite) Figure2() (*Report, error) {
+	type pair struct{ conv, useful vrp.WidthHistogram }
+	pairs, err := mapNames(s, func(name string) (pair, error) {
+		var pr pair
+		var err error
+		if pr.conv, err = s.DynWidthHistogram(name, "vrp-conv"); err != nil {
+			return pr, err
+		}
+		pr.useful, err = s.DynWidthHistogram(name, "vrp")
+		return pr, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	var conv, useful vrp.WidthHistogram
-	for _, name := range s.Names() {
-		hc, err := s.DynWidthHistogram(name, "vrp-conv")
-		if err != nil {
-			return nil, err
-		}
-		hu, err := s.DynWidthHistogram(name, "vrp")
-		if err != nil {
-			return nil, err
-		}
+	for _, pr := range pairs {
 		for i := 0; i < 4; i++ {
-			conv.Count[i] += hc.Count[i]
-			useful.Count[i] += hu.Count[i]
+			conv.Count[i] += pr.conv.Count[i]
+			useful.Count[i] += pr.useful.Count[i]
 		}
 	}
 	rep := &Report{
@@ -52,36 +57,45 @@ func (s *Suite) Figure4(threshold float64) (*Report, error) {
 		Title:   "Distribution of the points profiled after specialization",
 		Columns: []string{"points", "specialized", "dependent", "no benefit"},
 	}
-	var totPts, totSpec, totDep float64
-	for _, name := range s.Names() {
+	type pts struct{ n, spec, dep float64 }
+	results, err := mapNames(s, func(name string) (pts, error) {
 		r, err := s.VRS(name, threshold)
 		if err != nil {
-			return nil, err
+			return pts{}, err
 		}
-		var spec, dep, none float64
+		var p pts
 		for i := range r.Points {
 			switch r.Points[i].Outcome {
 			case vrs.Specialized:
-				spec++
+				p.spec++
 			case vrs.Subsumed:
-				dep++
-			default:
-				none++
+				p.dep++
 			}
 		}
-		n := float64(len(r.Points))
-		row := Row{Label: name, Values: []float64{n, 0, 0, 0}}
-		if n > 0 {
-			row.Values[1], row.Values[2], row.Values[3] = spec/n, dep/n, none/n
+		p.n = float64(len(r.Points))
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var totPts, totSpec, totDep float64
+	for i, name := range s.Names() {
+		p := results[i]
+		row := Row{Label: name, Values: []float64{p.n, 0, 0, 0}}
+		if p.n > 0 {
+			row.Values[1] = p.spec / p.n
+			row.Values[2] = p.dep / p.n
+			row.Values[3] = (p.n - p.spec - p.dep) / p.n
 		}
 		rep.Rows = append(rep.Rows, row)
-		totPts += n
-		totSpec += spec
-		totDep += dep
+		totPts += p.n
+		totSpec += p.spec
+		totDep += p.dep
 	}
 	if totPts > 0 {
 		rep.Rows = append(rep.Rows, Row{Label: "Average", Values: []float64{
-			totPts / 8, totSpec / totPts, totDep / totPts, 1 - (totSpec+totDep)/totPts}})
+			totPts / float64(len(results)), totSpec / totPts, totDep / totPts,
+			1 - (totSpec+totDep)/totPts}})
 	}
 	rep.Note = "columns 2-4 are fractions of profiled points; column 1 is the count (the paper's bar annotations)"
 	return rep, nil
@@ -96,10 +110,10 @@ func (s *Suite) Figure5(threshold float64) (*Report, error) {
 		Title:   "Distribution of the specialized instructions at compile time",
 		Columns: []string{"static instrs", "specialized", "eliminated"},
 	}
-	for _, name := range s.Names() {
+	rows, err := mapNames(s, func(name string) (Row, error) {
 		r, err := s.VRS(name, threshold)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		total := float64(r.StaticSpecialized + r.StaticEliminated)
 		row := Row{Label: name, Values: []float64{total, 0, 0}}
@@ -107,8 +121,12 @@ func (s *Suite) Figure5(threshold float64) (*Report, error) {
 			row.Values[1] = float64(r.StaticSpecialized) / total
 			row.Values[2] = float64(r.StaticEliminated) / total
 		}
-		rep.Rows = append(rep.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	rep.Rows = append(rep.Rows, rows...)
 	rep.Note = "benchmarks with zero profitable points have empty rows (the paper's gcc-like cases specialize most)"
 	return rep, nil
 }
@@ -122,16 +140,15 @@ func (s *Suite) Figure6(threshold float64) (*Report, error) {
 		Columns: []string{"specialized", "comparisons"},
 		Percent: true,
 	}
-	var sumSpec, sumGuard float64
-	for _, name := range s.Names() {
+	rows, err := mapNames(s, func(name string) (Row, error) {
 		r, err := s.VRS(name, threshold)
 		if err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		m := emu.New(r.Apply())
 		m.EnableCounts()
 		if err := m.Run(); err != nil {
-			return nil, err
+			return Row{}, err
 		}
 		var spec, guard int64
 		for idx := range r.SpecIns {
@@ -142,11 +159,19 @@ func (s *Suite) Figure6(threshold float64) (*Report, error) {
 		}
 		specF := float64(spec) / float64(m.Dyn)
 		guardF := float64(guard) / float64(m.Dyn)
-		rep.Rows = append(rep.Rows, Row{Label: name, Values: []float64{specF, guardF}})
-		sumSpec += specF
-		sumGuard += guardF
+		return Row{Label: name, Values: []float64{specF, guardF}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	rep.Rows = append(rep.Rows, Row{Label: "Average", Values: []float64{sumSpec / 8, sumGuard / 8}})
+	var sumSpec, sumGuard float64
+	for _, row := range rows {
+		rep.Rows = append(rep.Rows, row)
+		sumSpec += row.Values[0]
+		sumGuard += row.Values[1]
+	}
+	n := float64(len(rows))
+	rep.Rows = append(rep.Rows, Row{Label: "Average", Values: []float64{sumSpec / n, sumGuard / n}})
 	return rep, nil
 }
 
@@ -165,12 +190,14 @@ func (s *Suite) Figure7(threshold float64) (*Report, error) {
 		Percent: true,
 	}
 	for _, v := range variants {
+		hists, err := mapNames(s, func(name string) (vrp.WidthHistogram, error) {
+			return s.DynWidthHistogram(name, v.variant)
+		})
+		if err != nil {
+			return nil, err
+		}
 		var h vrp.WidthHistogram
-		for _, name := range s.Names() {
-			hw, err := s.DynWidthHistogram(name, v.variant)
-			if err != nil {
-				return nil, err
-			}
+		for _, hw := range hists {
 			for i := 0; i < 4; i++ {
 				h.Count[i] += hw.Count[i]
 			}
@@ -206,24 +233,39 @@ func itoa(v int) string {
 // result values needing 1..8 significant bytes. The 5-byte peak comes from
 // memory addresses (33+ bits), as in the paper.
 func (s *Suite) Figure12() (*Report, error) {
-	var counts [9]int64
-	var total int64
-	for _, name := range s.Names() {
+	type tally struct {
+		counts [9]int64
+		total  int64
+	}
+	tallies, err := mapNames(s, func(name string) (*tally, error) {
 		p, err := s.Program(name, s.evalClass())
 		if err != nil {
 			return nil, err
 		}
+		t := new(tally)
 		m := emu.New(p)
-		m.Trace = func(ev emu.Event) {
+		m.Sink = emu.FuncSink(func(ev emu.Event) {
 			if _, ok := ev.Ins.Dest(); !ok {
 				return
 			}
-			counts[power.SignificantBytes(ev.Value)]++
-			total++
-		}
+			t.counts[power.SignificantBytes(ev.Value)]++
+			t.total++
+		})
 		if err := m.Run(); err != nil {
 			return nil, err
 		}
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var counts [9]int64
+	var total int64
+	for _, t := range tallies {
+		for i := range t.counts {
+			counts[i] += t.counts[i]
+		}
+		total += t.total
 	}
 	rep := &Report{
 		ID:      "fig12",

@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// memo is a per-key singleflight cache: concurrent callers of do() with
+// the same key share one computation, and independent keys never contend
+// beyond the map access itself. This is what lets the suite's expensive
+// artifacts (built programs, analyses, transformed binaries, simulations)
+// be produced concurrently without a coarse global lock.
+type memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// do returns the cached value for key, computing it with fn exactly once.
+func (c *memo[K, V]) do(key K, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*memoEntry[V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = new(memoEntry[V])
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// workers returns the fan-out bound for suite drivers.
+func (s *Suite) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// mapNames runs fn once per suite benchmark, fanned out across a bounded
+// worker pool, and returns the per-benchmark results in suite order (so
+// report assembly — including float accumulation — is deterministic
+// regardless of completion order). The first error in suite order wins.
+func mapNames[T any](s *Suite, fn func(name string) (T, error)) ([]T, error) {
+	names := s.Names()
+	out := make([]T, len(names))
+	errs := make([]error, len(names))
+	sem := make(chan struct{}, s.workers())
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, name string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = fn(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelSuiteDeterministic: a suite fanned out across the full
+// worker pool must produce reports identical to a strictly sequential
+// run — same rows, same floats, same formatting. Table1 is pure
+// parameter arithmetic; Figure3 exercises the whole concurrent artifact
+// graph (builds, VRP, simulations) plus ordered float accumulation.
+func TestParallelSuiteDeterministic(t *testing.T) {
+	seq := NewSuite(true)
+	seq.Workers = 1
+	par := NewSuite(true)
+	par.Workers = 2 * runtime.GOMAXPROCS(0) // oversubscribe to shake out ordering races
+
+	seqT1 := seq.Table1().Format()
+	parT1 := par.Table1().Format()
+	if seqT1 != parT1 {
+		t.Errorf("Table1 differs between sequential and parallel runs:\n--- sequential\n%s\n--- parallel\n%s", seqT1, parT1)
+	}
+
+	seqF3, err := seq.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parF3, err := par.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := seqF3.Format(), parF3.Format(); s != p {
+		t.Errorf("Figure3 differs between sequential and parallel runs:\n--- sequential\n%s\n--- parallel\n%s", s, p)
+	}
+}
+
+// TestSuiteMemoizesUnderConcurrency: hammering the same artifact from
+// many goroutines must yield one shared result (singleflight), not
+// duplicate work or torn state.
+func TestSuiteMemoizesUnderConcurrency(t *testing.T) {
+	s := NewSuite(true)
+	const callers = 16
+	type out struct {
+		cycles int64
+		err    error
+	}
+	outs := make(chan out, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			r, err := s.Baseline("compress")
+			if err != nil {
+				outs <- out{0, err}
+				return
+			}
+			outs <- out{r.Cycles, nil}
+		}()
+	}
+	var first int64
+	for i := 0; i < callers; i++ {
+		o := <-outs
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if i == 0 {
+			first = o.cycles
+		} else if o.cycles != first {
+			t.Fatalf("caller %d saw cycles %d, first saw %d", i, o.cycles, first)
+		}
+	}
+}

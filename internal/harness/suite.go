@@ -5,11 +5,17 @@
 // reports. Absolute energy values are model units; the experiments compare
 // configurations against the same ungated baseline exactly as the paper
 // does.
+//
+// The suite is concurrency-safe: artifacts are memoized with per-key
+// singleflight caches (internal/harness/parallel.go), so independent
+// builds, analyses and simulations proceed in parallel, and the
+// per-workload loops of the table/figure drivers fan out across a bounded
+// worker pool. Reports are assembled in suite order, so results are
+// byte-identical to a sequential run (Workers = 1).
 package harness
 
 import (
 	"fmt"
-	"sync"
 
 	"opgate/internal/emu"
 	"opgate/internal/power"
@@ -32,14 +38,18 @@ type Suite struct {
 	// paper.
 	Quick bool
 
+	// Workers bounds the per-workload fan-out of the experiment drivers;
+	// 0 means GOMAXPROCS. Workers = 1 reproduces a sequential run.
+	Workers int
+
 	Uarch uarch.Config
 	Power power.Params
 
-	mu    sync.Mutex
-	progs map[progKey]*prog.Program
-	vrps  map[vrpKey]*vrp.Result
-	vrss  map[vrsKey]*vrs.Result
-	sims  map[simKey]*uarch.Result
+	progs    memo[progKey, *prog.Program]
+	vrps     memo[vrpKey, *vrp.Result]
+	vrss     memo[vrsKey, *vrs.Result]
+	variants memo[variantKey, *prog.Program]
+	sims     memo[simKey, *uarch.Result]
 }
 
 type progKey struct {
@@ -57,9 +67,14 @@ type vrsKey struct {
 	threshold float64
 }
 
+type variantKey struct {
+	name    string
+	variant string // "base", "vrp", "vrp-conv", "vrs<θ>"
+}
+
 type simKey struct {
 	name    string
-	variant string // "base", "vrp", "vrs<θ>"
+	variant string
 	mode    power.GatingMode
 }
 
@@ -69,10 +84,6 @@ func NewSuite(quick bool) *Suite {
 		Quick: quick,
 		Uarch: uarch.DefaultConfig(),
 		Power: power.DefaultParams(),
-		progs: make(map[progKey]*prog.Program),
-		vrps:  make(map[vrpKey]*vrp.Result),
-		vrss:  make(map[vrsKey]*vrs.Result),
-		sims:  make(map[simKey]*uarch.Result),
 	}
 }
 
@@ -95,122 +106,100 @@ func (s *Suite) evalClass() workload.InputClass {
 
 // Program returns (cached) the named benchmark built for an input class.
 func (s *Suite) Program(name string, class workload.InputClass) (*prog.Program, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	key := progKey{name, class}
-	if p, ok := s.progs[key]; ok {
+	return s.progs.do(progKey{name, class}, func() (*prog.Program, error) {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := w.Build(class)
+		if err != nil {
+			return nil, fmt.Errorf("harness: build %s/%v: %w", name, class, err)
+		}
 		return p, nil
-	}
-	w, err := workload.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	p, err := w.Build(class)
-	if err != nil {
-		return nil, fmt.Errorf("harness: build %s/%v: %w", name, class, err)
-	}
-	s.progs[key] = p
-	return p, nil
+	})
 }
 
 // VRP returns (cached) the analysis of the evaluation binary.
 func (s *Suite) VRP(name string, mode vrp.Mode) (*vrp.Result, error) {
-	p, err := s.Program(name, s.evalClass())
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	key := vrpKey{name, mode}
-	if r, ok := s.vrps[key]; ok {
+	return s.vrps.do(vrpKey{name, mode}, func() (*vrp.Result, error) {
+		p, err := s.Program(name, s.evalClass())
+		if err != nil {
+			return nil, err
+		}
+		r, err := vrp.Analyze(p, vrp.Options{Mode: mode})
+		if err != nil {
+			return nil, fmt.Errorf("harness: vrp %s: %w", name, err)
+		}
 		return r, nil
-	}
-	r, err := vrp.Analyze(p, vrp.Options{Mode: mode})
-	if err != nil {
-		return nil, fmt.Errorf("harness: vrp %s: %w", name, err)
-	}
-	s.vrps[key] = r
-	return r, nil
+	})
 }
 
 // VRS returns (cached) the specialization of the evaluation binary at a
 // threshold, profiled on the train binary (the paper's methodology).
 func (s *Suite) VRS(name string, threshold float64) (*vrs.Result, error) {
-	trainP, err := s.Program(name, workload.Train)
-	if err != nil {
-		return nil, err
-	}
-	refP, err := s.Program(name, s.evalClass())
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	key := vrsKey{name, threshold}
-	if r, ok := s.vrss[key]; ok {
+	return s.vrss.do(vrsKey{name, threshold}, func() (*vrs.Result, error) {
+		trainP, err := s.Program(name, workload.Train)
+		if err != nil {
+			return nil, err
+		}
+		refP, err := s.Program(name, s.evalClass())
+		if err != nil {
+			return nil, err
+		}
+		r, err := vrs.Specialize(trainP, refP, vrs.Options{Threshold: threshold, Power: s.Power})
+		if err != nil {
+			return nil, fmt.Errorf("harness: vrs %s@%v: %w", name, threshold, err)
+		}
 		return r, nil
-	}
-	r, err := vrs.Specialize(trainP, refP, vrs.Options{Threshold: threshold, Power: s.Power})
-	if err != nil {
-		return nil, fmt.Errorf("harness: vrs %s@%v: %w", name, threshold, err)
-	}
-	s.vrss[key] = r
-	return r, nil
+	})
 }
 
-// variantProgram resolves a named program variant for simulation.
+// variantProgram resolves (cached) a named program variant for simulation.
 func (s *Suite) variantProgram(name, variant string) (*prog.Program, error) {
-	switch variant {
-	case "base":
-		return s.Program(name, s.evalClass())
-	case "vrp":
-		r, err := s.VRP(name, vrp.Useful)
-		if err != nil {
-			return nil, err
+	return s.variants.do(variantKey{name, variant}, func() (*prog.Program, error) {
+		switch variant {
+		case "base":
+			return s.Program(name, s.evalClass())
+		case "vrp":
+			r, err := s.VRP(name, vrp.Useful)
+			if err != nil {
+				return nil, err
+			}
+			return r.Apply(), nil
+		case "vrp-conv":
+			r, err := s.VRP(name, vrp.Conventional)
+			if err != nil {
+				return nil, err
+			}
+			return r.Apply(), nil
+		default: // "vrs<threshold>"
+			var th float64
+			if _, err := fmt.Sscanf(variant, "vrs%g", &th); err != nil {
+				return nil, fmt.Errorf("harness: unknown variant %q", variant)
+			}
+			r, err := s.VRS(name, th)
+			if err != nil {
+				return nil, err
+			}
+			return r.Apply(), nil
 		}
-		return r.Apply(), nil
-	case "vrp-conv":
-		r, err := s.VRP(name, vrp.Conventional)
-		if err != nil {
-			return nil, err
-		}
-		return r.Apply(), nil
-	default: // "vrs<threshold>"
-		var th float64
-		if _, err := fmt.Sscanf(variant, "vrs%g", &th); err != nil {
-			return nil, fmt.Errorf("harness: unknown variant %q", variant)
-		}
-		r, err := s.VRS(name, th)
-		if err != nil {
-			return nil, err
-		}
-		return r.Apply(), nil
-	}
+	})
 }
 
 // Sim returns (cached) the timing+energy simulation of a program variant
 // under a gating mode.
 func (s *Suite) Sim(name, variant string, mode power.GatingMode) (*uarch.Result, error) {
-	s.mu.Lock()
-	key := simKey{name, variant, mode}
-	if r, ok := s.sims[key]; ok {
-		s.mu.Unlock()
+	return s.sims.do(simKey{name, variant, mode}, func() (*uarch.Result, error) {
+		p, err := s.variantProgram(name, variant)
+		if err != nil {
+			return nil, err
+		}
+		r, err := uarch.Run(p, s.Uarch, s.Power, mode)
+		if err != nil {
+			return nil, fmt.Errorf("harness: sim %s/%s/%v: %w", name, variant, mode, err)
+		}
 		return r, nil
-	}
-	s.mu.Unlock()
-
-	p, err := s.variantProgram(name, variant)
-	if err != nil {
-		return nil, err
-	}
-	r, err := uarch.Run(p, s.Uarch, s.Power, mode)
-	if err != nil {
-		return nil, fmt.Errorf("harness: sim %s/%s/%v: %w", name, variant, mode, err)
-	}
-	s.mu.Lock()
-	s.sims[key] = r
-	s.mu.Unlock()
-	return r, nil
+	})
 }
 
 // Baseline returns the ungated simulation of the original binary.
@@ -256,13 +245,20 @@ func (s *Suite) DynWidthHistogram(name, variant string) (vrp.WidthHistogram, err
 		return h, err
 	}
 	m := emu.New(p)
-	m.Trace = func(ev emu.Event) {
-		if vrp.CountsWidth(ev.Ins.Op) {
-			h.Add(ev.Ins.Width, 1)
-		}
-	}
+	m.Sink = widthSink{&h}
 	if err := m.Run(); err != nil {
 		return h, err
 	}
 	return h, nil
+}
+
+// widthSink tallies retired width-bearing instruction widths.
+type widthSink struct{ h *vrp.WidthHistogram }
+
+func (w widthSink) Consume(batch []emu.Event) {
+	for i := range batch {
+		if vrp.CountsWidth(batch[i].Ins.Op) {
+			w.h.Add(batch[i].Ins.Width, 1)
+		}
+	}
 }

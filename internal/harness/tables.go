@@ -60,30 +60,48 @@ Physical registers       %d
 // its share of dynamic instructions and the width split within the class,
 // measured on the proposed-VRP binaries across the suite.
 func (s *Suite) Table3() (*Report, error) {
-	var perClass [isa.NumClasses][4]int64
-	var classTotal [isa.NumClasses]int64
-	var total int64
-
-	for _, name := range s.Names() {
-		r, err := s.VRP(name, vrp.Useful)
+	type tally struct {
+		perClass   [isa.NumClasses][4]int64
+		classTotal [isa.NumClasses]int64
+		total      int64
+	}
+	tallies, err := mapNames(s, func(name string) (*tally, error) {
+		p, err := s.variantProgram(name, "vrp")
 		if err != nil {
 			return nil, err
 		}
-		p := r.Apply()
+		t := new(tally)
 		m := emu.New(p)
-		m.Trace = func(ev emu.Event) {
-			cls := isa.ClassOf(ev.Ins.Op)
+		m.Sink = emu.FuncSink(func(ev emu.Event) {
 			if !vrp.CountsWidth(ev.Ins.Op) {
 				return
 			}
+			cls := isa.ClassOf(ev.Ins.Op)
 			wi := widthIndex(ev.Ins.Width)
-			perClass[cls][wi]++
-			classTotal[cls]++
-			total++
-		}
+			t.perClass[cls][wi]++
+			t.classTotal[cls]++
+			t.total++
+		})
 		if err := m.Run(); err != nil {
 			return nil, err
 		}
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var perClass [isa.NumClasses][4]int64
+	var classTotal [isa.NumClasses]int64
+	var total int64
+	for _, t := range tallies {
+		for cls := range t.perClass {
+			for wi := range t.perClass[cls] {
+				perClass[cls][wi] += t.perClass[cls][wi]
+			}
+			classTotal[cls] += t.classTotal[cls]
+		}
+		total += t.total
 	}
 
 	rep := &Report{

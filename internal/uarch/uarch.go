@@ -146,15 +146,23 @@ func Run(p *prog.Program, cfg Config, params power.Params, mode power.GatingMode
 		return nil, err
 	}
 	m := emu.New(p)
-	m.Trace = s.Consume
+	m.Sink = s
 	if err := m.Run(); err != nil {
 		return nil, err
 	}
 	return s.Finish(), nil
 }
 
-// Consume advances the pipeline model by one retired instruction.
-func (s *Sim) Consume(ev emu.Event) {
+// Consume advances the pipeline model over a batch of retired
+// instructions (it implements emu.Sink).
+func (s *Sim) Consume(batch []emu.Event) {
+	for i := range batch {
+		s.consume(&batch[i])
+	}
+}
+
+// consume advances the pipeline model by one retired instruction.
+func (s *Sim) consume(ev *emu.Event) {
 	cfg := &s.cfg
 	in := ev.Ins
 	s.retired++

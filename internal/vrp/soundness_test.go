@@ -27,7 +27,7 @@ func TestRangesContainObservedValues(t *testing.T) {
 			}
 			m := emu.New(p)
 			violations := 0
-			m.Trace = func(ev emu.Event) {
+			m.Sink = emu.FuncSink(func(ev emu.Event) {
 				if violations > 3 {
 					return
 				}
@@ -46,7 +46,7 @@ func TestRangesContainObservedValues(t *testing.T) {
 					t.Errorf("instruction %d (%s): observed value %d outside static range %v",
 						ev.Idx, ev.Ins.String(), ev.Value, res)
 				}
-			}
+			})
 			if err := m.Run(); err != nil {
 				t.Fatal(err)
 			}
@@ -71,7 +71,7 @@ func TestOperandRangesContainObservedValues(t *testing.T) {
 			}
 			m := emu.New(p)
 			violations := 0
-			m.Trace = func(ev emu.Event) {
+			m.Sink = emu.FuncSink(func(ev emu.Event) {
 				if violations > 3 {
 					return
 				}
@@ -85,7 +85,7 @@ func TestOperandRangesContainObservedValues(t *testing.T) {
 					t.Errorf("instruction %d (%s): operand value %d outside recorded range %v",
 						ev.Idx, ev.Ins.String(), ev.SrcA, ra)
 				}
-			}
+			})
 			if err := m.Run(); err != nil {
 				t.Fatal(err)
 			}

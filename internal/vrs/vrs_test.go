@@ -131,11 +131,11 @@ func TestVRSReducesWork(t *testing.T) {
 func addDynamicHistogram(t *testing.T, h *vrp.WidthHistogram, p *prog.Program) {
 	t.Helper()
 	m := emu.New(p)
-	m.Trace = func(ev emu.Event) {
+	m.Sink = emu.FuncSink(func(ev emu.Event) {
 		if vrp.CountsWidth(ev.Ins.Op) {
 			h.Add(ev.Ins.Width, 1)
 		}
-	}
+	})
 	if err := m.Run(); err != nil {
 		t.Fatal(err)
 	}

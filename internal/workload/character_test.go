@@ -25,11 +25,11 @@ func dynShare64(t *testing.T, name string) float64 {
 	}
 	var h vrp.WidthHistogram
 	m := emu.New(r.Apply())
-	m.Trace = func(ev emu.Event) {
+	m.Sink = emu.FuncSink(func(ev emu.Event) {
 		if vrp.CountsWidth(ev.Ins.Op) {
 			h.Add(ev.Ins.Width, 1)
 		}
-	}
+	})
 	if err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
