@@ -13,6 +13,7 @@ import (
 
 	"opgate/internal/emu"
 	"opgate/internal/harness"
+	"opgate/internal/isa"
 	"opgate/internal/power"
 	"opgate/internal/uarch"
 	"opgate/internal/vrp"
@@ -271,6 +272,117 @@ func BenchmarkEmuMIPS(b *testing.B) {
 			b.ReportMetric(float64(dyn)/b.Elapsed().Seconds()/1e6, "MIPS")
 		})
 	}
+}
+
+// BenchmarkTraceReplayMIPS reports the speed of streaming a captured
+// retirement trace back out, in emulated-millions-of-instructions per
+// second: the rate every re-simulation of a traced variant enjoys instead
+// of a fresh ~125 MIPS emulation. Sub-benchmarks cover Event replay (the
+// Sink-compatible path the timing model consumes) and packed-record
+// streaming (the zero-materialisation path of histograms and profilers).
+func BenchmarkTraceReplayMIPS(b *testing.B) {
+	w, _ := workload.ByName("compress")
+	p, _ := w.Build(workload.Train)
+	rec := emu.NewTraceRecorder(p)
+	m := emu.New(p)
+	m.Sink = rec
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("events", func(b *testing.B) {
+		sink := new(countingSink)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Replay(sink)
+		}
+		b.ReportMetric(float64(tr.Len()*int64(b.N))/b.Elapsed().Seconds()/1e6, "MIPS")
+	})
+	b.Run("records", func(b *testing.B) {
+		// A representative packed consumer: scan the op/width columns
+		// (what the width histogram does), no Event materialisation.
+		var n, wsum int64
+		sink := emu.RecFunc(func(batch emu.RecBatch) {
+			for i, op := range batch.Op {
+				if isa.Op(op) != isa.OpHALT {
+					wsum += int64(batch.WBytes[i])
+				}
+			}
+			n += int64(batch.Len())
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Records(sink)
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "MIPS")
+		_ = wsum
+	})
+}
+
+// benchFigureMatrix runs a cold suite experiment fused and unfused.
+func benchFigureMatrix(b *testing.B, run func(s *harness.Suite) error) {
+	for _, cfg := range []struct {
+		name    string
+		unfused bool
+	}{{"unfused", true}, {"fused", false}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := harness.NewSuite(true)
+				s.Unfused = cfg.unfused
+				if err := run(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure3Matrix measures the cold Figure 3 matrix (every
+// workload built, analysed, emulated and simulated for the base and VRP
+// variants) under the fused trace pipeline vs the pre-trace one. Figure 3
+// alone consumes one mode per variant, so here fused mostly measures the
+// capture investment (packing + chunk allocation, ~25-30% on this
+// matrix); every later experiment on the same suite then replays for
+// free — BenchmarkFigureFamilyMatrix shows that payoff.
+func BenchmarkFigure3Matrix(b *testing.B) {
+	benchFigureMatrix(b, func(s *harness.Suite) error {
+		_, err := s.Figure3()
+		return err
+	})
+}
+
+// BenchmarkFigureFamilyMatrix measures the cold Figure 3+8 matrices plus
+// the experiments that reuse the same traces and fused mode families
+// (width histograms of Figures 2/7, the hardware and cooperative modes of
+// Figures 13/14/15): the evaluation's whole energy matrix. This is where
+// "trace once, simulate many" pays — each variant is emulated once and
+// timed once for its entire mode family.
+func BenchmarkFigureFamilyMatrix(b *testing.B) {
+	benchFigureMatrix(b, func(s *harness.Suite) error {
+		if _, err := s.Figure2(); err != nil {
+			return err
+		}
+		if _, err := s.Figure3(); err != nil {
+			return err
+		}
+		if _, err := s.Figure7(50); err != nil {
+			return err
+		}
+		if _, err := s.Figure8(); err != nil {
+			return err
+		}
+		if _, err := s.Figure13(); err != nil {
+			return err
+		}
+		if _, err := s.Figure14(); err != nil {
+			return err
+		}
+		_, err := s.Figure15(50)
+		return err
+	})
 }
 
 // BenchmarkSuiteParallel measures the cached-cold Figure 3 matrix (every

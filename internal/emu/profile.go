@@ -1,8 +1,9 @@
 package emu
 
 import (
-	"math/bits"
 	"sort"
+
+	"opgate/internal/power"
 )
 
 // tnvCacheWays is the size of the inline hit-cache in front of the TNV
@@ -64,7 +65,7 @@ func (t *TNVTable) Record(v int64) {
 	} else {
 		t.recordSlow(v)
 	}
-	w := significantBytes(v)
+	w := power.SignificantBytes(v)
 	if t.widthCount[w] == 0 || v < t.widthMin[w] {
 		t.widthMin[w] = v
 	}
@@ -106,20 +107,6 @@ func (t *TNVTable) promote(i int, v int64, c *int64) {
 	copy(t.cacheCnt[1:i+1], t.cacheCnt[:i])
 	t.cacheVal[0] = v
 	t.cacheCnt[0] = c
-}
-
-// significantBytes mirrors power.SignificantBytes without the import: the
-// smallest k such that sign-extending v from 8k bits is the identity.
-func significantBytes(v int64) int {
-	u := uint64(v)
-	if v < 0 {
-		u = ^u
-	}
-	k := bits.Len64(u)/8 + 1
-	if k > 8 {
-		k = 8
-	}
-	return k
 }
 
 // clean evicts the least frequently used half of the table.
@@ -226,6 +213,18 @@ func NewProfiler(points []int) *Profiler {
 // profiler has recorded them.
 func (p *Profiler) Attach(m *Machine) {
 	m.Sink = &profilerSink{points: p.Points, next: m.Sink}
+}
+
+// ConsumeRecs implements RecSink: the profiler reads the packed trace
+// record's index and value columns directly, so replaying a captured
+// trace through the profiler materialises no Events and chases no
+// instruction pointers.
+func (p *Profiler) ConsumeRecs(b RecBatch) {
+	for i := range b.Idx {
+		if t, ok := p.Points[int(b.Idx[i])]; ok {
+			t.Record(b.Value[i])
+		}
+	}
 }
 
 type profilerSink struct {

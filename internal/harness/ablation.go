@@ -127,11 +127,12 @@ func (s *Suite) AblationAnalysis() (*Report, error) {
 }
 
 // dynHistogramOf runs a program and tallies retired width-bearing
-// instruction widths.
+// instruction widths (packed on the fly; ablation variants are one-off
+// programs outside the suite's trace cache).
 func dynHistogramOf(p *prog.Program) (vrp.WidthHistogram, error) {
 	var h vrp.WidthHistogram
 	m := emu.New(p)
-	m.Sink = widthSink{&h}
+	m.Sink = emu.NewPacker(p, widthSink{&h})
 	if err := m.Run(); err != nil {
 		return h, err
 	}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"opgate/internal/emu"
 	"opgate/internal/power"
 	"opgate/internal/vrp"
@@ -145,20 +147,32 @@ func (s *Suite) Figure6(threshold float64) (*Report, error) {
 		if err != nil {
 			return Row{}, err
 		}
-		m := emu.New(r.Apply())
-		m.EnableCounts()
-		if err := m.Run(); err != nil {
+		// Per-static execution counts come from the variant's cached
+		// trace records; no fresh emulation or InsCount run is needed.
+		variant := vrsVariant(threshold)
+		p, err := s.variantProgram(name, variant)
+		if err != nil {
+			return Row{}, err
+		}
+		counts := make([]int64, len(p.Ins))
+		var dyn int64
+		if err := s.recordsOf(name, variant, emu.RecFunc(func(b emu.RecBatch) {
+			for _, idx := range b.Idx {
+				counts[idx]++
+			}
+			dyn += int64(b.Len())
+		})); err != nil {
 			return Row{}, err
 		}
 		var spec, guard int64
 		for idx := range r.SpecIns {
-			spec += m.InsCount[idx]
+			spec += counts[idx]
 		}
 		for idx := range r.GuardIns {
-			guard += m.InsCount[idx]
+			guard += counts[idx]
 		}
-		specF := float64(spec) / float64(m.Dyn)
-		guardF := float64(guard) / float64(m.Dyn)
+		specF := float64(spec) / float64(dyn)
+		guardF := float64(guard) / float64(dyn)
 		return Row{Label: name, Values: []float64{specF, guardF}}, nil
 	})
 	if err != nil {
@@ -208,11 +222,10 @@ func (s *Suite) Figure7(threshold float64) (*Report, error) {
 	return rep, nil
 }
 
+// vrsVariant names the VRS variant cache key for a threshold (%g renders
+// integral thresholds without a decimal point, e.g. "vrs50").
 func vrsVariant(threshold float64) string {
-	if threshold == float64(int(threshold)) {
-		return "vrs" + itoa(int(threshold))
-	}
-	return "vrs50"
+	return fmt.Sprintf("vrs%g", threshold)
 }
 
 func itoa(v int) string {
@@ -238,20 +251,20 @@ func (s *Suite) Figure12() (*Report, error) {
 		total  int64
 	}
 	tallies, err := mapNames(s, func(name string) (*tally, error) {
-		p, err := s.Program(name, s.evalClass())
-		if err != nil {
-			return nil, err
-		}
 		t := new(tally)
-		m := emu.New(p)
-		m.Sink = emu.FuncSink(func(ev emu.Event) {
-			if _, ok := ev.Ins.Dest(); !ok {
-				return
+		// The destination-write bit is folded into the packed record, so
+		// the tally reads the cached base trace without re-deriving
+		// Dest() per event (or re-emulating).
+		err := s.recordsOf(name, "base", emu.RecFunc(func(b emu.RecBatch) {
+			for i, fl := range b.Flags {
+				if fl&emu.RecWritesDest == 0 {
+					continue
+				}
+				t.counts[power.SignificantBytes(b.Value[i])]++
+				t.total++
 			}
-			t.counts[power.SignificantBytes(ev.Value)]++
-			t.total++
-		})
-		if err := m.Run(); err != nil {
+		}))
+		if err != nil {
 			return nil, err
 		}
 		return t, nil

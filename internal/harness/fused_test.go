@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestFigureMatricesEmulateOncePerVariant is the emulation-count probe of
+// the trace layer's contract: regenerating the Figure 3 and Figure 8
+// matrices must functionally emulate each (workload, variant) exactly
+// once — the trace capture — with every simulation and every later reuse
+// (histograms, repeated calls) served from the cache.
+func TestFigureMatricesEmulateOncePerVariant(t *testing.T) {
+	s := NewSuite(true)
+	if _, err := s.Figure3(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Figure8(); err != nil {
+		t.Fatal(err)
+	}
+	// Variants touched: base, vrp, and the five VRS thresholds.
+	variants := int64(2 + len(Thresholds))
+	want := int64(len(s.Names())) * variants
+	if got := s.Emulations(); got != want {
+		t.Errorf("Figure 3+8 matrices performed %d emulations, want %d (one per workload+variant)", got, want)
+	}
+
+	// The width histograms of Figure 2 read the cached traces: only the
+	// one variant not yet traced (vrp-conv) costs new emulations.
+	if _, err := s.Figure2(); err != nil {
+		t.Fatal(err)
+	}
+	want += int64(len(s.Names()))
+	if got := s.Emulations(); got != want {
+		t.Errorf("after Figure 2: %d emulations, want %d (only vrp-conv traces added)", got, want)
+	}
+
+	// DynWidthHistogram is memoized and trace-backed: repeated calls add
+	// no emulations at all.
+	for _, name := range s.Names() {
+		if _, err := s.DynWidthHistogram(name, "vrp"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.DynWidthHistogram(name, "vrp"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Emulations(); got != want {
+		t.Errorf("DynWidthHistogram re-emulated: %d emulations, want %d", got, want)
+	}
+}
+
+// TestFusedReportsMatchUnfused: the fused trace/replay pipeline must
+// render every report byte-identically to the pre-trace pipeline (one
+// live emulation per simulation, histogram and scan).
+func TestFusedReportsMatchUnfused(t *testing.T) {
+	fused := NewSuite(true)
+	unfused := NewSuite(true)
+	unfused.Unfused = true
+
+	reports := []struct {
+		id  string
+		gen func(s *Suite) (*Report, error)
+	}{
+		{"table3", func(s *Suite) (*Report, error) { return s.Table3() }},
+		{"fig2", func(s *Suite) (*Report, error) { return s.Figure2() }},
+		{"fig3", func(s *Suite) (*Report, error) { return s.Figure3() }},
+		{"fig6", func(s *Suite) (*Report, error) { return s.Figure6(50) }},
+		{"fig8", func(s *Suite) (*Report, error) { return s.Figure8() }},
+		{"fig12", func(s *Suite) (*Report, error) { return s.Figure12() }},
+		{"fig13", func(s *Suite) (*Report, error) { return s.Figure13() }},
+		{"fig15", func(s *Suite) (*Report, error) { return s.Figure15(50) }},
+	}
+	for _, re := range reports {
+		rf, err := re.gen(fused)
+		if err != nil {
+			t.Fatalf("%s fused: %v", re.id, err)
+		}
+		ru, err := re.gen(unfused)
+		if err != nil {
+			t.Fatalf("%s unfused: %v", re.id, err)
+		}
+		if rf.Format() != ru.Format() {
+			t.Errorf("%s: fused report differs from unfused\n--- fused ---\n%s\n--- unfused ---\n%s",
+				re.id, rf.Format(), ru.Format())
+		}
+	}
+	if fused.Emulations() >= unfused.Emulations() {
+		t.Errorf("fused pipeline emulated %d times, unfused %d — fusion saved nothing",
+			fused.Emulations(), unfused.Emulations())
+	}
+}

@@ -12,12 +12,25 @@
 // per-workload loops of the table/figure drivers fan out across a bounded
 // worker pool. Reports are assembled in suite order, so results are
 // byte-identical to a sequential run (Workers = 1).
+//
+// Simulation follows "trace once, simulate many": each (workload, variant)
+// is functionally emulated exactly once, into a packed retirement trace
+// (emu.TraceRecorder); every simulation, width histogram, and record scan
+// of that variant replays the cached trace instead of re-emulating. The
+// gating modes the evaluation requests for a variant are accrued in one
+// fused timing pass (uarch.ReplayModes with a meter bank), so the figure
+// matrices cost one emulation and one timing traversal per variant. All
+// of it is an accelerator only: traces over budget fall back to live
+// emulation, and Unfused restores the pre-trace pipeline for equivalence
+// tests and benchmarks. Reports are byte-identical either way.
 package harness
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"opgate/internal/emu"
+	"opgate/internal/isa"
 	"opgate/internal/power"
 	"opgate/internal/prog"
 	"opgate/internal/uarch"
@@ -42,6 +55,21 @@ type Suite struct {
 	// 0 means GOMAXPROCS. Workers = 1 reproduces a sequential run.
 	Workers int
 
+	// Unfused disables the trace cache and the fused multi-mode pass,
+	// reproducing the pre-trace pipeline (one functional emulation per
+	// simulation, histogram and record scan). Reports are byte-identical
+	// to the fused pipeline; equivalence tests and the fused-vs-unfused
+	// benchmarks rely on that.
+	Unfused bool
+
+	// TraceBudget caps the packed-trace bytes cached per (name, variant);
+	// <= 0 means emu.DefaultTraceBudget. A variant whose trace exceeds
+	// the budget falls back to live emulation (correctness never depends
+	// on a capture succeeding). Resident worst case is the sum over the
+	// distinct variants an experiment touches: ~43 bytes/event, ~190 MB
+	// for the full quick suite, ~700 MB for ref inputs.
+	TraceBudget int64
+
 	Uarch uarch.Config
 	Power power.Params
 
@@ -49,7 +77,12 @@ type Suite struct {
 	vrps     memo[vrpKey, *vrp.Result]
 	vrss     memo[vrsKey, *vrs.Result]
 	variants memo[variantKey, *prog.Program]
+	traces   memo[variantKey, *emu.Trace]
+	families memo[groupKey, []*uarch.Result]
 	sims     memo[simKey, *uarch.Result]
+	hists    memo[variantKey, vrp.WidthHistogram]
+
+	emuRuns atomic.Int64
 }
 
 type progKey struct {
@@ -76,6 +109,12 @@ type simKey struct {
 	name    string
 	variant string
 	mode    power.GatingMode
+}
+
+type groupKey struct {
+	name    string
+	variant string
+	group   int // index into modeGroups
 }
 
 // NewSuite builds a suite with the paper's machine parameters.
@@ -186,20 +225,178 @@ func (s *Suite) variantProgram(name, variant string) (*prog.Program, error) {
 	})
 }
 
+// modeGroups partitions the gating modes into the sets the evaluation
+// always requests together: the ungated baseline, software gating, the
+// two hardware compression schemes (Figures 13/14 read both), and the two
+// cooperative schemes (Figure 15 reads both). A group is accrued by one
+// fused timing pass over the variant's cached trace, so a figure never
+// pays for a meter it does not read, and a pair costs one traversal
+// instead of two.
+var modeGroups = [...][]power.GatingMode{
+	{power.GateNone},
+	{power.GateSoftware},
+	{power.GateHWSize, power.GateHWSignificance},
+	{power.GateCooperative, power.GateCooperativeSig},
+}
+
+// modeGroup locates a gating mode: group index and index within it.
+func modeGroup(mode power.GatingMode) (int, int) {
+	for gi, group := range modeGroups {
+		for mi, m := range group {
+			if m == mode {
+				return gi, mi
+			}
+		}
+	}
+	return -1, -1
+}
+
+// Emulations returns how many functional emulations the suite has
+// performed: trace captures plus any live fallbacks (over-budget traces,
+// Unfused mode). The trace layer's contract — at most one emulation per
+// (name, variant) — is asserted against this probe in tests. Emulations
+// inside VRP/VRS construction (train profiling runs) are not counted.
+func (s *Suite) Emulations() int64 { return s.emuRuns.Load() }
+
 // Sim returns (cached) the timing+energy simulation of a program variant
-// under a gating mode.
+// under a gating mode. In the fused pipeline the request is served from
+// the one fused pass of the mode's evaluation group over the variant's
+// cached trace.
 func (s *Suite) Sim(name, variant string, mode power.GatingMode) (*uarch.Result, error) {
-	return s.sims.do(simKey{name, variant, mode}, func() (*uarch.Result, error) {
+	if s.Unfused {
+		return s.sims.do(simKey{name, variant, mode}, func() (*uarch.Result, error) {
+			p, err := s.variantProgram(name, variant)
+			if err != nil {
+				return nil, err
+			}
+			s.emuRuns.Add(1)
+			r, err := uarch.Run(p, s.Uarch, s.Power, mode)
+			if err != nil {
+				return nil, fmt.Errorf("harness: sim %s/%s/%v: %w", name, variant, mode, err)
+			}
+			return r, nil
+		})
+	}
+	gi, mi := modeGroup(mode)
+	if gi < 0 {
+		return nil, fmt.Errorf("harness: sim %s/%s: unknown gating mode %v", name, variant, mode)
+	}
+	rs, err := s.families.do(groupKey{name, variant, gi}, func() ([]*uarch.Result, error) {
+		return s.simModes(name, variant, modeGroups[gi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rs[mi], nil
+}
+
+// simModes performs one fused timing pass over the variant's retirement
+// stream with a meter bank accruing every requested mode. The variant's
+// single functional emulation is shared with the trace capture: whichever
+// consumer arrives first rides the live pass (tee'd off the recorder);
+// everyone after replays the cached trace.
+func (s *Suite) simModes(name, variant string, modes []power.GatingMode) ([]*uarch.Result, error) {
+	var rode *uarch.Sim
+	tr, err := s.traceWith(name, variant, func(*prog.Program) (emu.Sink, error) {
+		sim, err := uarch.NewMulti(s.Uarch, s.Power, modes)
+		if err != nil {
+			return nil, err
+		}
+		rode = sim
+		return sim, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rs []*uarch.Result
+	if rode != nil {
+		return rode.FinishAll(), nil
+	}
+	if tr != nil {
+		rs, err = uarch.ReplayModes(tr, s.Uarch, s.Power, modes)
+	} else {
+		// Capture missed its budget: plain live pass.
+		var p *prog.Program
+		p, err = s.variantProgram(name, variant)
+		if err != nil {
+			return nil, err
+		}
+		s.emuRuns.Add(1)
+		rs, err = uarch.RunModes(p, s.Uarch, s.Power, modes)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("harness: sim %s/%s/%v: %w", name, variant, modes, err)
+	}
+	return rs, nil
+}
+
+// traceWith returns (cached) the packed retirement trace of a variant, or
+// nil when the capture exceeded the trace budget (the miss is cached too:
+// callers fall back to live emulation, once per call site). If this call
+// is the one that performs the capture, the rider factory's sink consumes
+// the same live pass — the variant's only emulation feeds the recorder
+// and its first consumer together. Callers detect whether their rider ran
+// via state captured in the factory closure.
+func (s *Suite) traceWith(name, variant string, rider func(*prog.Program) (emu.Sink, error)) (*emu.Trace, error) {
+	return s.traces.do(variantKey{name, variant}, func() (*emu.Trace, error) {
 		p, err := s.variantProgram(name, variant)
 		if err != nil {
 			return nil, err
 		}
-		r, err := uarch.Run(p, s.Uarch, s.Power, mode)
-		if err != nil {
-			return nil, fmt.Errorf("harness: sim %s/%s/%v: %w", name, variant, mode, err)
+		rec := emu.NewTraceRecorder(p)
+		rec.SetBudget(s.TraceBudget)
+		m := emu.New(p)
+		m.Sink = rec
+		if rider != nil {
+			sink, err := rider(p)
+			if err != nil {
+				return nil, err
+			}
+			m.Sink = emu.Tee(rec, sink)
 		}
-		return r, nil
+		s.emuRuns.Add(1)
+		if err := m.Run(); err != nil {
+			return nil, fmt.Errorf("harness: trace %s/%s: %w", name, variant, err)
+		}
+		tr, err := rec.Trace()
+		if err != nil {
+			return nil, nil // over budget: remember the miss
+		}
+		return tr, nil
 	})
+}
+
+// recordsOf streams the packed retirement records of a variant into rs:
+// riding the capture pass when this is the variant's first consumer, from
+// the cached trace when one exists, else from a live emulation packed on
+// the fly. Consumers read op/width/value columns directly and never
+// dereference per-event instruction pointers.
+func (s *Suite) recordsOf(name, variant string, rs emu.RecSink) error {
+	if !s.Unfused {
+		rode := false
+		tr, err := s.traceWith(name, variant, func(p *prog.Program) (emu.Sink, error) {
+			rode = true
+			return emu.NewPacker(p, rs), nil
+		})
+		if err != nil {
+			return err
+		}
+		if rode {
+			return nil
+		}
+		if tr != nil {
+			tr.Records(rs)
+			return nil
+		}
+	}
+	p, err := s.variantProgram(name, variant)
+	if err != nil {
+		return err
+	}
+	m := emu.New(p)
+	m.Sink = emu.NewPacker(p, rs)
+	s.emuRuns.Add(1)
+	return m.Run()
 }
 
 // Baseline returns the ungated simulation of the original binary.
@@ -236,29 +433,25 @@ func (s *Suite) ED2Saving(name, variant string, mode power.GatingMode) (float64,
 	return power.EnergyDelay2Saving(base.Energy.Total(), base.Cycles, g.Energy.Total(), g.Cycles), nil
 }
 
-// DynWidthHistogram executes a program variant and tallies the widths of
-// retired width-bearing instructions.
+// DynWidthHistogram returns (cached) the dynamic width histogram of a
+// program variant, tallied over the packed trace records (the cached
+// trace when available) instead of a fresh emulation per call.
 func (s *Suite) DynWidthHistogram(name, variant string) (vrp.WidthHistogram, error) {
-	var h vrp.WidthHistogram
-	p, err := s.variantProgram(name, variant)
-	if err != nil {
+	return s.hists.do(variantKey{name, variant}, func() (vrp.WidthHistogram, error) {
+		var h vrp.WidthHistogram
+		err := s.recordsOf(name, variant, widthSink{&h})
 		return h, err
-	}
-	m := emu.New(p)
-	m.Sink = widthSink{&h}
-	if err := m.Run(); err != nil {
-		return h, err
-	}
-	return h, nil
+	})
 }
 
-// widthSink tallies retired width-bearing instruction widths.
+// widthSink tallies retired width-bearing instruction widths from the
+// packed record's op/width columns (no instruction-pointer chasing).
 type widthSink struct{ h *vrp.WidthHistogram }
 
-func (w widthSink) Consume(batch []emu.Event) {
-	for i := range batch {
-		if vrp.CountsWidth(batch[i].Ins.Op) {
-			w.h.Add(batch[i].Ins.Width, 1)
+func (w widthSink) ConsumeRecs(b emu.RecBatch) {
+	for i, op := range b.Op {
+		if vrp.CountsWidth(isa.Op(op)) {
+			w.h.Add(isa.Width(b.WBytes[i]), 1)
 		}
 	}
 }

@@ -66,23 +66,21 @@ func (s *Suite) Table3() (*Report, error) {
 		total      int64
 	}
 	tallies, err := mapNames(s, func(name string) (*tally, error) {
-		p, err := s.variantProgram(name, "vrp")
-		if err != nil {
-			return nil, err
-		}
 		t := new(tally)
-		m := emu.New(p)
-		m.Sink = emu.FuncSink(func(ev emu.Event) {
-			if !vrp.CountsWidth(ev.Ins.Op) {
-				return
+		err := s.recordsOf(name, "vrp", emu.RecFunc(func(b emu.RecBatch) {
+			for i, opb := range b.Op {
+				op := isa.Op(opb)
+				if !vrp.CountsWidth(op) {
+					continue
+				}
+				cls := isa.ClassOf(op)
+				wi := widthIndex(isa.Width(b.WBytes[i]))
+				t.perClass[cls][wi]++
+				t.classTotal[cls]++
+				t.total++
 			}
-			cls := isa.ClassOf(ev.Ins.Op)
-			wi := widthIndex(ev.Ins.Width)
-			t.perClass[cls][wi]++
-			t.classTotal[cls]++
-			t.total++
-		})
-		if err := m.Run(); err != nil {
+		}))
+		if err != nil {
 			return nil, err
 		}
 		return t, nil

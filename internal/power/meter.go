@@ -59,6 +59,11 @@ type Meter struct {
 	// "because it yields more energy benefits" — this knob measures that
 	// claim.
 	SignExtendToCache bool
+
+	// tagE caches Gated[s]*TagOverheadBytes()/8 per structure — the
+	// per-access tag-array energy of the hardware schemes — so the hot
+	// accessors add a constant instead of recomputing the product.
+	tagE [NumStructures]float64
 }
 
 // AccessCacheValue records a data-cache access. Under the sign-extend
@@ -73,7 +78,11 @@ func (m *Meter) AccessCacheValue(s Structure, swWidth int, value int64) {
 
 // NewMeter returns a meter with the given coefficients and gating mode.
 func NewMeter(params Params, mode GatingMode) *Meter {
-	return &Meter{Params: params, Mode: mode}
+	m := &Meter{Params: params, Mode: mode}
+	for s := Structure(0); s < NumStructures; s++ {
+		m.tagE[s] = params.Gated[s] * mode.TagOverheadBytes() / 8.0
+	}
+	return m
 }
 
 // AccessFixed records a width-independent access (fetch, predictor lookup,
@@ -87,9 +96,11 @@ func (m *Meter) AccessFixed(s Structure) {
 // opcode width in bytes; value is the datum (for the hardware tags).
 func (m *Meter) AccessValue(s Structure, swWidth int, value int64) {
 	m.Accesses[s]++
+	// ActiveBytes always lands in [1,8], so the width profile is a direct
+	// table hit (this is the hottest call in a fused simulation).
 	k := ActiveBytes(m.Mode, swWidth, value)
-	e := m.Params.Fixed[s] + m.Params.Gated[s]*WidthProfile(k)
-	e += m.Params.Gated[s] * m.Mode.TagOverheadBytes() / 8.0
+	e := m.Params.Fixed[s] + m.Params.Gated[s]*widthProfileTab[k]
+	e += m.tagE[s]
 	m.Energy[s] += e
 }
 
@@ -98,7 +109,7 @@ func (m *Meter) AccessValue(s Structure, swWidth int, value int64) {
 func (m *Meter) AccessBytes(s Structure, bytes int) {
 	m.Accesses[s]++
 	e := m.Params.Fixed[s] + m.Params.Gated[s]*WidthProfile(bytes)
-	e += m.Params.Gated[s] * m.Mode.TagOverheadBytes() / 8.0
+	e += m.tagE[s]
 	m.Energy[s] += e
 }
 

@@ -11,7 +11,10 @@
 // scheme (§4.7).
 package power
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Structure enumerates the energy-accounted processor parts (the x-axis of
 // Figs. 3, 9 and 14).
@@ -78,6 +81,12 @@ const (
 	GateCooperativeSig
 )
 
+// Modes lists every gating mode in declaration order (index == int(mode)).
+func Modes() []GatingMode {
+	return []GatingMode{GateNone, GateSoftware, GateHWSignificance, GateHWSize,
+		GateCooperative, GateCooperativeSig}
+}
+
 // String names the gating mode.
 func (g GatingMode) String() string {
 	switch g {
@@ -114,8 +123,29 @@ func (g GatingMode) TagOverheadBytes() float64 {
 // paper's Table 1 exactly: relative ALU energies at 1/2/4/8 bytes are
 // 0, 3, 5 and 6 units above the 1-byte floor, i.e. fractions 0, 1/2, 5/6
 // and 1 of the gated portion; intermediate byte counts interpolate
-// linearly.
+// linearly. The nine possible values are precomputed once (this sits on
+// the per-access hot path of every power meter).
 func WidthProfile(bytes int) float64 {
+	switch {
+	case bytes <= 1:
+		return 0
+	case bytes >= 8:
+		return 1
+	}
+	return widthProfileTab[bytes]
+}
+
+// widthProfileTab caches widthProfileSlow for byte counts 0..8.
+var widthProfileTab = func() [9]float64 {
+	var t [9]float64
+	for b := range t {
+		t[b] = widthProfileSlow(b)
+	}
+	return t
+}()
+
+// widthProfileSlow is the defining interpolation over the Table 1 anchors.
+func widthProfileSlow(bytes int) float64 {
 	switch {
 	case bytes <= 1:
 		return 0
@@ -139,15 +169,20 @@ func WidthProfile(bytes int) float64 {
 
 // SignificantBytes returns the dynamic size of a value in sign-extended
 // two's complement (1..8) — what the significance-compression hardware
-// tags measure.
+// tags measure. The smallest k with v<<(64-8k)>>(64-8k) == v is the k
+// whose 8k-1 magnitude bits cover the value, computed branch-light from
+// the bit length (this sits on the per-access hot path of the hardware
+// gating modes).
 func SignificantBytes(v int64) int {
-	for k := 1; k < 8; k++ {
-		shift := uint(64 - 8*k)
-		if v<<shift>>shift == v {
-			return k
-		}
+	u := uint64(v)
+	if v < 0 {
+		u = ^u
 	}
-	return 8
+	k := bits.Len64(u)/8 + 1
+	if k > 8 {
+		return 8
+	}
+	return k
 }
 
 // SizeClass quantises a value's significant bytes to the 2-bit encoding

@@ -11,6 +11,8 @@
 package uarch
 
 import (
+	"fmt"
+
 	"opgate/internal/bpred"
 	"opgate/internal/cache"
 	"opgate/internal/emu"
@@ -76,12 +78,42 @@ type Result struct {
 	IPC            float64
 }
 
-// Sim consumes a retirement trace and produces timing + energy.
+// powerBank is the pluggable power-accounting stage: it fans every
+// per-event accounting call out to one meter per requested gating mode.
+// The timing core above it is mode-independent — it describes each access
+// as (structure, software width, value) and never consults a gating mode —
+// so one traversal of the retirement stream can accrue any number of
+// modes, each meter seeing exactly the call sequence a solo run would
+// produce (fused results are bit-identical to per-mode runs).
+type powerBank struct {
+	meters []*power.Meter
+}
+
+func (b *powerBank) accessFixed(s power.Structure) {
+	for _, m := range b.meters {
+		m.AccessFixed(s)
+	}
+}
+
+func (b *powerBank) accessValue(s power.Structure, swWidth int, value int64) {
+	for _, m := range b.meters {
+		m.AccessValue(s, swWidth, value)
+	}
+}
+
+func (b *powerBank) accessCacheValue(s power.Structure, swWidth int, value int64) {
+	for _, m := range b.meters {
+		m.AccessCacheValue(s, swWidth, value)
+	}
+}
+
+// Sim consumes a retirement trace once and produces timing plus energy for
+// every gating mode in its bank.
 type Sim struct {
-	cfg   Config
-	meter *power.Meter
-	pred  *bpred.Predictor
-	hier  *cache.Hierarchy
+	cfg  Config
+	bank powerBank
+	pred *bpred.Predictor
+	hier *cache.Hierarchy
 
 	regReady        [isa.NumRegs]int64 // cycle each architectural value is ready
 	fetchCycle      int64
@@ -111,21 +143,36 @@ type Sim struct {
 	lastRetire     int64
 	retiredInCycle int
 	retired        int64
+
+	results []*Result // built once by FinishAll
 }
 
 const ringSize = 1 << 14
 
 // New builds a simulator with the given gating mode and power parameters.
 func New(cfg Config, params power.Params, mode power.GatingMode) (*Sim, error) {
+	return NewMulti(cfg, params, []power.GatingMode{mode})
+}
+
+// NewMulti builds a fused simulator whose power bank accrues every listed
+// gating mode in one traversal of the retirement stream. FinishAll returns
+// one Result per mode, in the given order.
+func NewMulti(cfg Config, params power.Params, modes []power.GatingMode) (*Sim, error) {
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("uarch: no gating modes requested")
+	}
 	hier, err := cache.NewHierarchy(cfg.Memory)
 	if err != nil {
 		return nil, err
 	}
-	meter := power.NewMeter(params, mode)
-	meter.SignExtendToCache = cfg.SignExtendToCache
+	meters := make([]*power.Meter, len(modes))
+	for i, mode := range modes {
+		meters[i] = power.NewMeter(params, mode)
+		meters[i].SignExtendToCache = cfg.SignExtendToCache
+	}
 	return &Sim{
 		cfg:           cfg,
-		meter:         meter,
+		bank:          powerBank{meters: meters},
 		pred:          bpred.New(cfg.Predictor),
 		hier:          hier,
 		issued:        make([]int8, ringSize),
@@ -141,7 +188,20 @@ func New(cfg Config, params power.Params, mode power.GatingMode) (*Sim, error) {
 // Run executes the program to completion under the simulator and returns
 // timing and energy results.
 func Run(p *prog.Program, cfg Config, params power.Params, mode power.GatingMode) (*Result, error) {
-	s, err := New(cfg, params, mode)
+	rs, err := RunModes(p, cfg, params, []power.GatingMode{mode})
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// RunModes performs one functional emulation and one timing traversal of p
+// while a bank of meters accrues every requested gating mode, returning
+// one Result per mode (timing fields identical, energy per mode). It is
+// exactly equivalent to — and bit-identical with — len(modes) independent
+// Run calls, at one emulation and one timing pass of cost.
+func RunModes(p *prog.Program, cfg Config, params power.Params, modes []power.GatingMode) ([]*Result, error) {
+	s, err := NewMulti(cfg, params, modes)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +210,21 @@ func Run(p *prog.Program, cfg Config, params power.Params, mode power.GatingMode
 	if err := m.Run(); err != nil {
 		return nil, err
 	}
-	return s.Finish(), nil
+	return s.FinishAll(), nil
+}
+
+// ReplayModes is RunModes driven by a captured retirement trace instead of
+// a live emulation: the trace is replayed once through the fused timing
+// core. The trace must reproduce the live stream byte-for-byte (the
+// emu.Trace invariant), so results are identical to RunModes on the
+// traced program.
+func ReplayModes(tr *emu.Trace, cfg Config, params power.Params, modes []power.GatingMode) ([]*Result, error) {
+	s, err := NewMulti(cfg, params, modes)
+	if err != nil {
+		return nil, err
+	}
+	tr.Replay(s)
+	return s.FinishAll(), nil
 }
 
 // Consume advances the pipeline model over a batch of retired
@@ -180,12 +254,12 @@ func (s *Sim) consume(ev *emu.Event) {
 	// The I-cache is read on every fetch (the line-buffer hit path is
 	// folded into the per-access fixed cost); misses are modelled when
 	// the fetch group crosses into a new line.
-	s.meter.AccessFixed(power.ICache)
+	s.bank.accessFixed(power.ICache)
 	line := int64(ev.Idx) * int64(cfg.InstrBytes) / int64(s.hier.L1I.Config().LineBytes)
 	if line != s.lastFetchLine {
 		lat, l2 := s.hier.InstrAccess(int64(ev.Idx) * int64(cfg.InstrBytes))
 		if l2 {
-			s.meter.AccessFixed(power.L2Cache)
+			s.bank.accessFixed(power.L2Cache)
 		}
 		if lat > s.hier.L1I.Config().HitCycles {
 			s.fetchCycle += int64(lat - s.hier.L1I.Config().HitCycles)
@@ -197,7 +271,7 @@ func (s *Sim) consume(ev *emu.Event) {
 	fetch := s.fetchCycle
 
 	// --- Rename / dispatch ----------------------------------------------
-	s.meter.AccessFixed(power.Rename)
+	s.bank.accessFixed(power.Rename)
 	dispatch := fetch + int64(cfg.FrontendDepth)
 	// Window occupancy: cannot dispatch until the instruction
 	// WindowSize back has retired.
@@ -282,19 +356,21 @@ func (s *Sim) consume(ev *emu.Event) {
 	if isa.IsMem(in.Op) {
 		lat, l2 := s.hier.DataAccess(ev.Addr, in.Op == isa.OpST)
 		done = issue + int64(lat)
-		// LSQ: address CAM plus data movement.
-		s.meter.AccessBytes(power.LSQ, power.ActiveBytes(s.meter.Mode, 8, ev.Addr))
-		s.meter.AccessValue(power.LSQ, in.Width.Bytes(), ev.Value)
-		s.meter.AccessCacheValue(power.DCache, in.Width.Bytes(), ev.Value)
+		// LSQ: address CAM plus data movement. The address access is a
+		// full-width (8-byte) value access, gated by each meter's own view
+		// of the address bytes.
+		s.bank.accessValue(power.LSQ, 8, ev.Addr)
+		s.bank.accessValue(power.LSQ, in.Width.Bytes(), ev.Value)
+		s.bank.accessCacheValue(power.DCache, in.Width.Bytes(), ev.Value)
 		if l2 {
-			s.meter.AccessFixed(power.L2Cache)
+			s.bank.accessFixed(power.L2Cache)
 		}
 	}
 
 	// --- Energy: window, operands, execution ------------------------------
 	w := in.Width.Bytes()
-	s.meter.AccessValue(power.IQ, w, wider(ev.SrcA, ev.SrcB))
-	s.meter.AccessFixed(power.ROB)
+	s.bank.accessValue(power.IQ, w, wider(ev.SrcA, ev.SrcB))
+	s.bank.accessFixed(power.ROB)
 	for k := 0; k < n; k++ {
 		if uses[k] == isa.ZeroReg {
 			continue
@@ -303,21 +379,21 @@ func (s *Sim) consume(ev *emu.Event) {
 		if k == 1 {
 			v = ev.SrcB
 		}
-		s.meter.AccessValue(power.RegFile, w, v)
+		s.bank.accessValue(power.RegFile, w, v)
 	}
 	if _, ok := in.Dest(); ok || in.Op == isa.OpJSR {
-		s.meter.AccessValue(power.RegFile, w, ev.Value)
-		s.meter.AccessValue(power.RenameBuf, w, ev.Value)
-		s.meter.AccessValue(power.ResultBus, w, ev.Value)
+		s.bank.accessValue(power.RegFile, w, ev.Value)
+		s.bank.accessValue(power.RenameBuf, w, ev.Value)
+		s.bank.accessValue(power.ResultBus, w, ev.Value)
 	}
 	if class := isa.ClassOf(in.Op); class != isa.ClassBranch && class != isa.ClassNone &&
 		class != isa.ClassLoad && class != isa.ClassStore && in.Op != isa.OpHALT {
-		s.meter.AccessValue(power.FU, w, wider(ev.SrcA, ev.SrcB))
+		s.bank.accessValue(power.FU, w, wider(ev.SrcA, ev.SrcB))
 	}
 
 	// --- Branch resolution -------------------------------------------------
 	if isa.IsBranch(in.Op) {
-		s.meter.AccessFixed(power.BPred)
+		s.bank.accessFixed(power.BPred)
 		miss := false
 		switch {
 		case isa.IsCondBranch(in.Op):
@@ -333,8 +409,8 @@ func (s *Sim) consume(ev *emu.Event) {
 			// Wrong-path energy: wasted front-end work.
 			waste := s.cfg.WrongPathFactor * float64(cfg.FetchWidth*cfg.FrontendDepth)
 			for i := 0; i < int(waste); i++ {
-				s.meter.AccessFixed(power.ICache)
-				s.meter.AccessFixed(power.Rename)
+				s.bank.accessFixed(power.ICache)
+				s.bank.accessFixed(power.Rename)
 			}
 		}
 	}
@@ -370,23 +446,38 @@ func (s *Sim) consume(ev *emu.Event) {
 	}
 }
 
-// Finish closes the simulation and returns results.
+// Finish closes the simulation and returns the first mode's results (the
+// only mode, for simulators built with New).
 func (s *Sim) Finish() *Result {
+	return s.FinishAll()[0]
+}
+
+// FinishAll closes the simulation and returns one Result per gating mode
+// in the bank, in NewMulti order. Timing fields are shared (gating is
+// energy-only); each Result carries its own meter. Idempotent.
+func (s *Sim) FinishAll() []*Result {
+	if s.results != nil {
+		return s.results
+	}
 	cycles := s.lastRetire + 1
-	s.meter.Tick(cycles)
 	ipc := 0.0
 	if cycles > 0 {
 		ipc = float64(s.retired) / float64(cycles)
 	}
-	return &Result{
-		Cycles:         cycles,
-		Instructions:   s.retired,
-		Energy:         s.meter,
-		BranchMissRate: s.pred.MissRate(),
-		L1DMissRate:    s.hier.L1D.MissRate(),
-		L1IMissRate:    s.hier.L1I.MissRate(),
-		IPC:            ipc,
+	s.results = make([]*Result, len(s.bank.meters))
+	for i, m := range s.bank.meters {
+		m.Tick(cycles)
+		s.results[i] = &Result{
+			Cycles:         cycles,
+			Instructions:   s.retired,
+			Energy:         m,
+			BranchMissRate: s.pred.MissRate(),
+			L1DMissRate:    s.hier.L1D.MissRate(),
+			L1IMissRate:    s.hier.L1I.MissRate(),
+			IPC:            ipc,
+		}
 	}
+	return s.results
 }
 
 func wider(a, b int64) int64 {

@@ -1,9 +1,11 @@
 package uarch_test
 
 import (
+	"reflect"
 	"testing"
 
 	"opgate/internal/asm"
+	"opgate/internal/emu"
 	"opgate/internal/power"
 	"opgate/internal/prog"
 	"opgate/internal/uarch"
@@ -265,5 +267,79 @@ func TestSimMatchesEmulatorCounts(t *testing.T) {
 		if r.IPC <= 0 {
 			t.Errorf("%s: IPC %v", name, r.IPC)
 		}
+	}
+}
+
+// TestRunModesMatchesIndependentRuns: the fused multi-mode pass must be
+// indistinguishable — cycles, instruction counts, miss rates, and every
+// field of every meter, bit for bit — from one independent Run per mode.
+func TestRunModesMatchesIndependentRuns(t *testing.T) {
+	w, err := workload.ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Build(workload.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.DefaultConfig()
+	params := power.DefaultParams()
+	modes := power.Modes()
+
+	fused, err := uarch.RunModes(p, cfg, params, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fused) != len(modes) {
+		t.Fatalf("RunModes returned %d results for %d modes", len(fused), len(modes))
+	}
+	for i, mode := range modes {
+		solo, err := uarch.Run(p, cfg, params, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fused[i], solo) {
+			t.Errorf("mode %v: fused result differs from independent run\nfused: %+v\n solo: %+v",
+				mode, fused[i], solo)
+		}
+	}
+}
+
+// TestReplayModesMatchesRunModes: driving the fused timing core from a
+// captured trace must give the identical results as a live emulation.
+func TestReplayModesMatchesRunModes(t *testing.T) {
+	w, err := workload.ByName("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w.Build(workload.Train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := uarch.DefaultConfig()
+	params := power.DefaultParams()
+	modes := []power.GatingMode{power.GateNone, power.GateSoftware, power.GateHWSignificance}
+
+	rec := emu.NewTraceRecorder(p)
+	m := emu.New(p)
+	m.Sink = rec
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, err := uarch.ReplayModes(tr, cfg, params, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := uarch.RunModes(p, cfg, params, modes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(replayed, live) {
+		t.Fatal("trace-replayed results differ from live emulation")
 	}
 }

@@ -151,13 +151,18 @@ func Specialize(trainProg, refProg *prog.Program, opts Options) (*Result, error)
 	}
 
 	// Step 1 (§3.3): block profile on the train input, then candidate
-	// identification with the minimum-cost preliminary filter.
+	// identification with the minimum-cost preliminary filter. The run is
+	// captured as a packed trace so step 2's value profiling can replay
+	// it instead of emulating the train input a second time.
 	trainMachine := emu.New(trainProg)
 	trainMachine.EnableCounts()
+	rec := emu.NewTraceRecorder(trainProg)
+	trainMachine.Sink = rec
 	if err := trainMachine.Run(); err != nil {
 		return nil, fmt.Errorf("vrs: train profiling run: %w", err)
 	}
 	counts := trainMachine.InsCount
+	trainTrace, traceErr := rec.Trace()
 
 	cands := findCandidates(refProg, base, counts, opts)
 	if len(cands) == 0 {
@@ -174,16 +179,24 @@ func Specialize(trainProg, refProg *prog.Program, opts Options) (*Result, error)
 		}, nil
 	}
 
-	// Step 2 (§3.3): value-profile the candidates on the train input.
+	// Step 2 (§3.3): value-profile the candidates on the train input,
+	// replaying the captured trace's packed records (index and value
+	// columns) through the profiler. Only when the capture blew its
+	// memory budget does the profiler fall back to a second emulation.
 	idxs := make([]int, len(cands))
 	for i, c := range cands {
 		idxs[i] = c.InsIdx
 	}
 	profiler := emu.NewProfiler(idxs)
-	trainMachine.Reset()
-	profiler.Attach(trainMachine)
-	if err := trainMachine.Run(); err != nil {
-		return nil, fmt.Errorf("vrs: value profiling run: %w", err)
+	if traceErr == nil {
+		trainTrace.Records(profiler)
+	} else {
+		trainMachine.Reset()
+		trainMachine.Sink = nil
+		profiler.Attach(trainMachine)
+		if err := trainMachine.Run(); err != nil {
+			return nil, fmt.Errorf("vrs: value profiling run: %w", err)
+		}
 	}
 
 	// Step 3 (§3.4): evaluate profitability with the profiled ranges and

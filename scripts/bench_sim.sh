@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Regenerate BENCH_sim.json, the machine-readable trajectory of the
+# simulation-substrate benchmarks: emulated MIPS, trace capture/replay
+# throughput, and the fused-vs-unfused cold figure matrices.
+#
+#   scripts/bench_sim.sh              # default: 3 timed iterations each
+#   BENCHTIME=1x scripts/bench_sim.sh # smoke (CI)
+set -e
+cd "$(dirname "$0")/.."
+
+BENCHES='BenchmarkEmuMIPS|BenchmarkTraceReplayMIPS|BenchmarkFigure3Matrix|BenchmarkFigureFamilyMatrix'
+
+# Run the benchmarks to a temp file first so a failing run aborts the
+# script (POSIX sh has no pipefail) instead of overwriting the committed
+# trajectory with an empty document.
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+go test -run '^$' -bench "$BENCHES" -benchtime "${BENCHTIME:-3x}" -count "${COUNT:-1}" . > "$out"
+cat "$out" >&2
+go run ./tools/benchjson < "$out" > BENCH_sim.json
+
+echo "wrote BENCH_sim.json" >&2

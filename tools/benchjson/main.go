@@ -1,0 +1,96 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so benchmark trajectories
+// (BENCH_sim.json) can be diffed and plotted across PRs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... . | go run ./tools/benchjson > BENCH_sim.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the emitted trajectory file.
+type Document struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	doc := Document{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Package = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one result line: name, iteration count, then
+// (value, unit) pairs — ns/op first, custom metrics after.
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		if fields[i+1] == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			b.Metrics[fields[i+1]] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}
