@@ -5,74 +5,116 @@
 //	ogbench -experiment all            # everything (the default)
 //	ogbench -experiment fig8           # one experiment
 //	ogbench -quick                     # evaluate on train inputs (faster)
+//
+// The workload space can be widened beyond the eight kernels with
+// seed-driven synthetic programs (internal/progen):
+//
+//	ogbench -synthetic all                     # curated set, every family
+//	ogbench -synthetic narrow,pointer -seed 7  # chosen families at a seed
+//	ogbench -synthetic syn:wide/large/3        # one exact generation
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"opgate/internal/harness"
+	"opgate/internal/progen"
+	"opgate/internal/workload"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "table1|table2|table3|fig2..fig15|ablation-opcodes|ablation-analysis|all")
 	quick := flag.Bool("quick", false, "evaluate on train inputs (faster)")
 	threshold := flag.Float64("threshold", 50, "VRS specialization threshold (nJ)")
+	synthetic := flag.String("synthetic", "", `synthetic workloads: "all" (curated set), a comma-separated family list, or exact syn:family/class/seed names`)
+	seed := flag.Uint64("seed", 1, "generator seed for -synthetic family lists")
+	class := flag.String("class", "small", "generator size class for -synthetic family lists (small|medium|large)")
 	flag.Parse()
 
+	explicit := map[string]bool{}
+	flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+
 	s := harness.NewSuite(*quick)
-	if err := run(s, *experiment, *threshold); err != nil {
+	names, err := syntheticNames(*synthetic, *seed, *class, explicit["seed"] || explicit["class"])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ogbench:", err)
+		os.Exit(2)
+	}
+	s.Synthetics = names
+	run := func() error {
+		if *experiment == "all" {
+			return s.RunAll(os.Stdout, *threshold)
+		}
+		return s.RunExperiment(os.Stdout, *experiment, *threshold)
+	}
+	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "ogbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(s *harness.Suite, experiment string, th float64) error {
-	type exp struct {
-		id string
-		fn func() error
+// syntheticNames expands the -synthetic flag into registry names, each
+// validated against the workload registry before the suite starts.
+// seedClassSet flags an explicit -seed/-class, which only family-list
+// specs consume; silently dropping them would run workloads the user did
+// not ask for, so that combination is rejected instead.
+func syntheticNames(spec string, seed uint64, class string, seedClassSet bool) ([]string, error) {
+	if spec == "" {
+		if seedClassSet {
+			return nil, fmt.Errorf("-seed/-class require a -synthetic family list")
+		}
+		return nil, nil
 	}
-	show := func(r *harness.Report, err error) error {
+	var names []string
+	usedSeedClass := false
+	if spec == "all" {
+		for _, w := range workload.CuratedSynthetics() {
+			names = append(names, w.Name)
+		}
+	} else {
+		c, err := progen.ParseClass(class)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Println(r.Format())
-		return nil
-	}
-	exps := []exp{
-		{"table1", func() error { fmt.Println(s.Table1().Format()); return nil }},
-		{"table2", func() error { fmt.Println(s.Table2()); return nil }},
-		{"table3", func() error { return show(s.Table3()) }},
-		{"fig2", func() error { return show(s.Figure2()) }},
-		{"fig3", func() error { return show(s.Figure3()) }},
-		{"fig4", func() error { return show(s.Figure4(th)) }},
-		{"fig5", func() error { return show(s.Figure5(th)) }},
-		{"fig6", func() error { return show(s.Figure6(th)) }},
-		{"fig7", func() error { return show(s.Figure7(th)) }},
-		{"fig8", func() error { return show(s.Figure8()) }},
-		{"fig9", func() error { return show(s.Figure9()) }},
-		{"fig10", func() error { return show(s.Figure10()) }},
-		{"fig11", func() error { return show(s.Figure11()) }},
-		{"fig12", func() error { return show(s.Figure12()) }},
-		{"fig13", func() error { return show(s.Figure13()) }},
-		{"fig14", func() error { return show(s.Figure14()) }},
-		{"fig15", func() error { return show(s.Figure15(th)) }},
-		{"ablation-opcodes", func() error { return show(s.AblationOpcodeSets()) }},
-		{"ablation-analysis", func() error { return show(s.AblationAnalysis()) }},
-	}
-	if experiment == "all" {
-		for _, e := range exps {
-			if err := e.fn(); err != nil {
-				return fmt.Errorf("%s: %w", e.id, err)
+		for _, part := range strings.Split(spec, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
 			}
+			if workload.IsSynthetic(part) {
+				names = append(names, part)
+				continue
+			}
+			f, err := progen.ParseFamily(part)
+			if err != nil {
+				return nil, fmt.Errorf("-synthetic: %w", err)
+			}
+			usedSeedClass = true
+			names = append(names, workload.SyntheticName(f, seed, c))
 		}
-		return nil
 	}
-	for _, e := range exps {
-		if e.id == experiment {
-			return e.fn()
+	if seedClassSet && !usedSeedClass {
+		return nil, fmt.Errorf("-seed/-class only apply to -synthetic family lists, not %q", spec)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-synthetic %q expands to no workloads", spec)
+	}
+	// Dedupe: a family entry and an exact syn: name can expand to the same
+	// workload, which would double-weight it in suite averages.
+	seen := make(map[string]bool, len(names))
+	uniq := names[:0]
+	for _, name := range names {
+		if seen[name] {
+			continue
 		}
+		seen[name] = true
+		if _, err := workload.ByName(name); err != nil {
+			return nil, err
+		}
+		uniq = append(uniq, name)
 	}
-	return fmt.Errorf("unknown experiment %q", experiment)
+	return uniq, nil
 }

@@ -10,4 +10,11 @@
 // drivers, and DESIGN.md for the full system inventory. The root package
 // exists to host the repository-level benchmark harness (bench_test.go),
 // which regenerates every table and figure of the paper's evaluation.
+//
+// Beyond the paper's eight kernels, internal/progen generates seed-driven
+// synthetic workloads in six behavioral families spanning the
+// dynamic-width spectrum; `ogbench -synthetic all` (or a family list with
+// -seed/-class) runs every experiment over the expanded suite, and
+// internal/progen/difftest asserts the substrate's equivalence invariants
+// on arbitrary seeds.
 package opgate

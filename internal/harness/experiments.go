@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment is one regenerable unit of the evaluation: a table, figure
+// or ablation, addressable by the ID ogbench exposes.
+type Experiment struct {
+	ID  string
+	Run func(s *Suite, w io.Writer, threshold float64) error
+}
+
+// showReport renders a generated report (or propagates its error).
+func showReport(w io.Writer, r *Report, err error) error {
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, r.Format())
+	return err
+}
+
+// Experiments returns every experiment in the paper's presentation order.
+// cmd/ogbench and the golden-report regression test both drive this list,
+// so a new experiment is automatically exposed and regression-covered.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", func(s *Suite, w io.Writer, _ float64) error {
+			_, err := fmt.Fprintln(w, s.Table1().Format())
+			return err
+		}},
+		{"table2", func(s *Suite, w io.Writer, _ float64) error {
+			_, err := fmt.Fprintln(w, s.Table2())
+			return err
+		}},
+		{"table3", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Table3(); return showReport(w, r, err) }},
+		{"fig2", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure2(); return showReport(w, r, err) }},
+		{"fig3", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure3(); return showReport(w, r, err) }},
+		{"fig4", func(s *Suite, w io.Writer, th float64) error { r, err := s.Figure4(th); return showReport(w, r, err) }},
+		{"fig5", func(s *Suite, w io.Writer, th float64) error { r, err := s.Figure5(th); return showReport(w, r, err) }},
+		{"fig6", func(s *Suite, w io.Writer, th float64) error { r, err := s.Figure6(th); return showReport(w, r, err) }},
+		{"fig7", func(s *Suite, w io.Writer, th float64) error { r, err := s.Figure7(th); return showReport(w, r, err) }},
+		{"fig8", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure8(); return showReport(w, r, err) }},
+		{"fig9", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure9(); return showReport(w, r, err) }},
+		{"fig10", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure10(); return showReport(w, r, err) }},
+		{"fig11", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure11(); return showReport(w, r, err) }},
+		{"fig12", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure12(); return showReport(w, r, err) }},
+		{"fig13", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure13(); return showReport(w, r, err) }},
+		{"fig14", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure14(); return showReport(w, r, err) }},
+		{"fig15", func(s *Suite, w io.Writer, th float64) error { r, err := s.Figure15(th); return showReport(w, r, err) }},
+		{"ablation-opcodes", func(s *Suite, w io.Writer, _ float64) error {
+			r, err := s.AblationOpcodeSets()
+			return showReport(w, r, err)
+		}},
+		{"ablation-analysis", func(s *Suite, w io.Writer, _ float64) error {
+			r, err := s.AblationAnalysis()
+			return showReport(w, r, err)
+		}},
+	}
+}
+
+// RunExperiment renders one experiment by ID into w.
+func (s *Suite) RunExperiment(w io.Writer, id string, threshold float64) error {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e.Run(s, w, threshold)
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", id)
+}
+
+// RunAll renders every experiment in order into w — the exact output of
+// `ogbench -experiment all`, which the golden-report regression test pins.
+func (s *Suite) RunAll(w io.Writer, threshold float64) error {
+	for _, e := range Experiments() {
+		if err := e.Run(s, w, threshold); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

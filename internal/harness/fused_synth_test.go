@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"testing"
+
+	"opgate/internal/progen"
+	"opgate/internal/progen/difftest"
+)
+
+// TestRunModesBitIdenticalOnGeneratedPrograms extends the fused-power
+// property beyond the eight kernels: for every generated family × size
+// class, one fused uarch.RunModes pass over all gating modes is
+// bit-identical — cycles, per-structure energy, access counts — to
+// independent per-mode Run calls.
+func TestRunModesBitIdenticalOnGeneratedPrograms(t *testing.T) {
+	for _, f := range progen.Families() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			t.Parallel()
+			for c := progen.Small; c <= progen.Large; c++ {
+				if c == progen.Large && testing.Short() {
+					continue
+				}
+				seed := uint64(31 + int(f))
+				p, err := progen.Generate(f, seed, c, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := difftest.CheckFusedModes(p); err != nil {
+					t.Fatalf("%v/%v/%d: %v", f, c, seed, err)
+				}
+			}
+		})
+	}
+}

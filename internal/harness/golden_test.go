@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden report files")
+
+// TestQuickReportGolden pins the full `ogbench -quick` output (every
+// table, figure and ablation at the default threshold) to a committed
+// golden file, so report drift — a changed kernel, power coefficient,
+// pipeline constant or formatter — is caught in CI instead of by manual
+// diffing. Deliberate changes re-baseline with:
+//
+//	go test ./internal/harness -run TestQuickReportGolden -update
+func TestQuickReportGolden(t *testing.T) {
+	s := NewSuite(true)
+	var buf bytes.Buffer
+	if err := s.RunAll(&buf, 50); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "ogbench_quick.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (create with -update): %v", err)
+	}
+	if bytes.Equal(buf.Bytes(), want) {
+		return
+	}
+	gotLines := strings.Split(buf.String(), "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := range gotLines {
+		if i >= len(wantLines) || gotLines[i] != wantLines[i] {
+			wantLine := "<EOF>"
+			if i < len(wantLines) {
+				wantLine = wantLines[i]
+			}
+			t.Fatalf("quick report drifted at line %d:\n  got:  %q\n  want: %q\n(re-baseline deliberate changes with -update)",
+				i+1, gotLines[i], wantLine)
+		}
+	}
+	t.Fatalf("quick report drifted: got %d lines, want %d (re-baseline with -update)",
+		len(gotLines), len(wantLines))
+}

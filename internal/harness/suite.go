@@ -62,6 +62,12 @@ type Suite struct {
 	// benchmarks rely on that.
 	Unfused bool
 
+	// Synthetics lists extra workload names — typically progen-generated
+	// "syn:family/class/seed" registry names — appended to the paper's
+	// eight benchmarks in every experiment driver. Set it before the
+	// first driver call; names resolve through workload.ByName.
+	Synthetics []string
+
 	// TraceBudget caps the packed-trace bytes cached per (name, variant);
 	// <= 0 means emu.DefaultTraceBudget. A variant whose trace exceeds
 	// the budget falls back to live emulation (correctness never depends
@@ -126,13 +132,14 @@ func NewSuite(quick bool) *Suite {
 	}
 }
 
-// Names returns the benchmark names in paper order.
+// Names returns the benchmark names in paper order, followed by any
+// registered synthetic workloads.
 func (s *Suite) Names() []string {
-	names := make([]string, 0, 8)
+	names := make([]string, 0, 8+len(s.Synthetics))
 	for _, w := range workload.All() {
 		names = append(names, w.Name)
 	}
-	return names
+	return append(names, s.Synthetics...)
 }
 
 // evalClass is the input class evaluation runs use.

@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"opgate/internal/progen"
+	"opgate/internal/workload"
+)
+
+// synthSuite returns a quick suite extended with a width-spectrum-spanning
+// trio of generated workloads.
+func synthSuite() *Suite {
+	s := NewSuite(true)
+	s.Synthetics = []string{
+		workload.SyntheticName(progen.Narrow, 2, progen.Small),
+		workload.SyntheticName(progen.Pointer, 2, progen.Small),
+		workload.SyntheticName(progen.Wide, 2, progen.Small),
+	}
+	return s
+}
+
+// TestNamesIncludeSynthetics: registered synthetics extend the suite
+// order after the paper's eight benchmarks.
+func TestNamesIncludeSynthetics(t *testing.T) {
+	s := synthSuite()
+	names := s.Names()
+	if len(names) != 8+len(s.Synthetics) {
+		t.Fatalf("suite has %d names, want %d", len(names), 8+len(s.Synthetics))
+	}
+	if names[0] != "compress" || !strings.HasPrefix(names[8], "syn:") {
+		t.Errorf("unexpected suite order: %v", names)
+	}
+}
+
+// TestSyntheticSuiteFusedMatchesUnfused: with synthetics registered, the
+// fused trace/replay pipeline still renders reports byte-identically to
+// the unfused pre-trace pipeline — over the full expanded workload list,
+// including the VRS specialization matrix (Figure 8).
+func TestSyntheticSuiteFusedMatchesUnfused(t *testing.T) {
+	fused := synthSuite()
+	unfused := synthSuite()
+	unfused.Unfused = true
+
+	reports := []struct {
+		id  string
+		gen func(s *Suite) (*Report, error)
+	}{
+		{"table3", func(s *Suite) (*Report, error) { return s.Table3() }},
+		{"fig2", func(s *Suite) (*Report, error) { return s.Figure2() }},
+		{"fig3", func(s *Suite) (*Report, error) { return s.Figure3() }},
+		{"fig8", func(s *Suite) (*Report, error) { return s.Figure8() }},
+		{"fig12", func(s *Suite) (*Report, error) { return s.Figure12() }},
+	}
+	for _, re := range reports {
+		rf, err := re.gen(fused)
+		if err != nil {
+			t.Fatalf("%s fused: %v", re.id, err)
+		}
+		ru, err := re.gen(unfused)
+		if err != nil {
+			t.Fatalf("%s unfused: %v", re.id, err)
+		}
+		if rf.Format() != ru.Format() {
+			t.Errorf("%s: fused report differs from unfused on the synthetic suite\n--- fused ---\n%s\n--- unfused ---\n%s",
+				re.id, rf.Format(), ru.Format())
+		}
+	}
+	if fused.Emulations() >= unfused.Emulations() {
+		t.Errorf("fused pipeline emulated %d times, unfused %d — fusion saved nothing",
+			fused.Emulations(), unfused.Emulations())
+	}
+}
+
+// TestSyntheticRowsAppearInReports: synthetic workloads surface as rows
+// in the per-benchmark reports, with sane baseline results.
+func TestSyntheticRowsAppearInReports(t *testing.T) {
+	s := synthSuite()
+	r, err := s.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3 is a suite average; per-benchmark presence is visible in
+	// Table 3's width matrix companion, the baseline sims.
+	for _, name := range s.Synthetics {
+		base, err := s.Baseline(name)
+		if err != nil {
+			t.Fatalf("baseline %s: %v", name, err)
+		}
+		if base.Cycles <= 0 || base.Instructions <= 0 || base.Energy.Total() <= 0 {
+			t.Errorf("%s: degenerate baseline (cycles=%d instrs=%d)", name, base.Cycles, base.Instructions)
+		}
+	}
+	if len(r.Rows) == 0 {
+		t.Error("Figure 3 rendered no rows")
+	}
+}
+
+// TestSuiteRejectsUnknownSynthetic: a bad synthetic name surfaces as an
+// error from the driver rather than a panic or silent drop.
+func TestSuiteRejectsUnknownSynthetic(t *testing.T) {
+	s := NewSuite(true)
+	s.Synthetics = []string{"syn:quantum/small/1"}
+	if _, err := s.Baseline("syn:quantum/small/1"); err == nil {
+		t.Error("unknown synthetic family produced a baseline")
+	}
+}

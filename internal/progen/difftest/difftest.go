@@ -1,0 +1,206 @@
+// Package difftest asserts the simulation substrate's core equivalence
+// invariants on arbitrary generated programs:
+//
+//   - batched Run, per-Step execution and Trace.Replay deliver the same
+//     retirement stream and the same architectural outcome;
+//   - a fused uarch.RunModes pass is bit-identical to independent
+//     per-mode uarch.Run calls.
+//
+// The eight hand-built kernels exercise these invariants on 16 fixed
+// (workload, input) points; driven by progen seeds, difftest turns them
+// into properties over an unbounded program space. The package is shared
+// by the differential unit tests, the FuzzDiffExec native fuzz target and
+// the CI seed sweep.
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+
+	"opgate/internal/emu"
+	"opgate/internal/power"
+	"opgate/internal/prog"
+	"opgate/internal/progen"
+	"opgate/internal/uarch"
+)
+
+// outcome is the observable result of one execution: the flattened
+// retirement stream plus the architectural end state.
+type outcome struct {
+	events []emu.Event
+	output []byte
+	mem    []byte
+	dyn    int64
+	regs   [32]int64
+}
+
+// collect copies every retired event out of the machine-owned batches.
+func collect(events *[]emu.Event) emu.Sink {
+	return emu.FuncSink(func(ev emu.Event) { *events = append(*events, ev) })
+}
+
+// runBatched executes p with the batched dispatch loop.
+func runBatched(p *prog.Program) (*outcome, error) {
+	o := &outcome{}
+	m := emu.New(p)
+	m.Sink = collect(&o.events)
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("batched run: %w", err)
+	}
+	o.finish(m)
+	return o, nil
+}
+
+// runStepped executes p one Step at a time.
+func runStepped(p *prog.Program) (*outcome, error) {
+	o := &outcome{}
+	m := emu.New(p)
+	m.Sink = collect(&o.events)
+	for !m.Halted {
+		if err := m.Step(); err != nil {
+			return nil, fmt.Errorf("stepped run: %w", err)
+		}
+	}
+	o.finish(m)
+	return o, nil
+}
+
+// runReplayed executes p once while recording a packed trace, then
+// replays the trace; the returned outcome pairs the replayed stream with
+// the live run's architectural end state.
+func runReplayed(p *prog.Program) (*outcome, error) {
+	o := &outcome{}
+	m := emu.New(p)
+	rec := emu.NewTraceRecorder(p)
+	m.Sink = rec
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("capture run: %w", err)
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		return nil, fmt.Errorf("trace capture: %w", err)
+	}
+	if tr.Len() != m.Dyn {
+		return nil, fmt.Errorf("trace length %d != %d retired instructions", tr.Len(), m.Dyn)
+	}
+	tr.Replay(collect(&o.events))
+	o.finish(m)
+	return o, nil
+}
+
+func (o *outcome) finish(m *emu.Machine) {
+	o.output = append([]byte(nil), m.Output...)
+	o.mem = append([]byte(nil), m.Mem...)
+	o.dyn = m.Dyn
+	o.regs = m.Regs
+}
+
+// diff explains the first difference between two outcomes, or returns nil.
+func diff(a, b *outcome, aName, bName string) error {
+	if a.dyn != b.dyn {
+		return fmt.Errorf("%s retired %d instructions, %s %d", aName, a.dyn, bName, b.dyn)
+	}
+	if len(a.events) != len(b.events) {
+		return fmt.Errorf("%s delivered %d events, %s %d", aName, len(a.events), bName, len(b.events))
+	}
+	for i := range a.events {
+		if a.events[i] != b.events[i] {
+			return fmt.Errorf("event %d differs: %s %+v, %s %+v", i, aName, a.events[i], bName, b.events[i])
+		}
+	}
+	if !bytes.Equal(a.output, b.output) {
+		return fmt.Errorf("output streams differ (%s %d bytes, %s %d bytes)", aName, len(a.output), bName, len(b.output))
+	}
+	if a.regs != b.regs {
+		return fmt.Errorf("final register files differ")
+	}
+	if !bytes.Equal(a.mem, b.mem) {
+		return fmt.Errorf("final memories differ")
+	}
+	return nil
+}
+
+// CheckExec asserts the execution-equivalence invariant on p: the batched
+// Run loop, the per-Step wrapper and a captured-trace Replay must produce
+// identical retirement streams (every Event field) and identical
+// architectural outcomes (output, registers, memory, retired count).
+func CheckExec(p *prog.Program) error {
+	batched, err := runBatched(p)
+	if err != nil {
+		return err
+	}
+	stepped, err := runStepped(p)
+	if err != nil {
+		return err
+	}
+	if err := diff(batched, stepped, "run", "step"); err != nil {
+		return fmt.Errorf("run vs step: %w", err)
+	}
+	replayed, err := runReplayed(p)
+	if err != nil {
+		return err
+	}
+	if err := diff(batched, replayed, "run", "replay"); err != nil {
+		return fmt.Errorf("run vs replay: %w", err)
+	}
+	return nil
+}
+
+// sameResult requires bit-identical timing and accounting between a fused
+// and a solo simulation result.
+func sameResult(fused, solo *uarch.Result, mode power.GatingMode) error {
+	if fused.Cycles != solo.Cycles || fused.Instructions != solo.Instructions ||
+		fused.IPC != solo.IPC || fused.BranchMissRate != solo.BranchMissRate ||
+		fused.L1DMissRate != solo.L1DMissRate || fused.L1IMissRate != solo.L1IMissRate {
+		return fmt.Errorf("mode %v: timing differs (fused %d cycles, solo %d)", mode, fused.Cycles, solo.Cycles)
+	}
+	if fused.Energy.Cycles != solo.Energy.Cycles {
+		return fmt.Errorf("mode %v: meter cycles differ", mode)
+	}
+	if fused.Energy.Energy != solo.Energy.Energy {
+		return fmt.Errorf("mode %v: energy differs: fused %v, solo %v", mode, fused.Energy.Energy, solo.Energy.Energy)
+	}
+	if fused.Energy.Accesses != solo.Energy.Accesses {
+		return fmt.Errorf("mode %v: access counts differ", mode)
+	}
+	return nil
+}
+
+// CheckFusedModes asserts the fused-accounting invariant on p: one
+// RunModes pass over every gating mode must be bit-identical — cycles,
+// per-structure energy, access counts — to independent per-mode Run
+// calls.
+func CheckFusedModes(p *prog.Program) error {
+	cfg := uarch.DefaultConfig()
+	params := power.DefaultParams()
+	modes := power.Modes()
+	fused, err := uarch.RunModes(p, cfg, params, modes)
+	if err != nil {
+		return fmt.Errorf("fused RunModes: %w", err)
+	}
+	for i, mode := range modes {
+		solo, err := uarch.Run(p, cfg, params, mode)
+		if err != nil {
+			return fmt.Errorf("solo run (%v): %w", mode, err)
+		}
+		if err := sameResult(fused[i], solo, mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Check generates the (family, seed, class) train and ref programs and
+// asserts the execution-equivalence invariant on both.
+func Check(f progen.Family, seed uint64, c progen.Class) error {
+	for _, ref := range []bool{false, true} {
+		p, err := progen.Generate(f, seed, c, ref)
+		if err != nil {
+			return err
+		}
+		if err := CheckExec(p); err != nil {
+			return fmt.Errorf("%s/%s/%d ref=%v: %w", f, c, seed, ref, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package difftest
+
+import (
+	"testing"
+
+	"opgate/internal/progen"
+)
+
+// seedsPerFamily × NumFamilies is the CI differential sweep size; the
+// acceptance floor is 100 seeds.
+const seedsPerFamily = 17
+
+// TestDifferentialSeedSweep: the substrate invariants (Run == Step ==
+// Replay, identical architectural outcomes) hold across a 100+-seed grid
+// of generated programs, on both input variants of every generation.
+func TestDifferentialSeedSweep(t *testing.T) {
+	for _, f := range progen.Families() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= seedsPerFamily; seed++ {
+				if err := Check(f, seed, progen.Small); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialClasses: the same invariants hold at the larger size
+// classes (fewer seeds — the programs are an order of magnitude longer).
+func TestDifferentialClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large classes skipped in -short mode")
+	}
+	for _, f := range progen.Families() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			t.Parallel()
+			if err := Check(f, 23, progen.Medium); err != nil {
+				t.Fatal(err)
+			}
+			if err := Check(f, 23, progen.Large); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFusedModesSmoke: the fused-accounting invariant holds on a
+// generated program from each end of the width spectrum (the full
+// family × class property matrix lives in the harness tests).
+func TestFusedModesSmoke(t *testing.T) {
+	for _, f := range []progen.Family{progen.Narrow, progen.Wide} {
+		p, err := progen.Generate(f, 3, progen.Small, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckFusedModes(p); err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+	}
+}
+
+// TestCheckRejectsBadInputs: the generator's argument validation reaches
+// the differential entry point.
+func TestCheckRejectsBadInputs(t *testing.T) {
+	if err := Check(progen.Family(99), 1, progen.Small); err == nil {
+		t.Error("Check accepted an unknown family")
+	}
+}

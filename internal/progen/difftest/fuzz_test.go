@@ -1,0 +1,58 @@
+package difftest
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"opgate/internal/progen"
+)
+
+// FuzzDiffExec decodes a (family, class, variant, seed) tuple from raw
+// fuzz bytes, generates the program and asserts the execution-equivalence
+// invariant: Run == Step == Replay, no panics, no traps. The generator is
+// total over valid tuples, so any error is a finding. Input layout:
+//
+//	data[0]      behavioral family (mod NumFamilies)
+//	data[1]      bit 0: size class (small/medium); bit 7: ref variant
+//	data[2:10]   little-endian generator seed
+//
+// Seed corpus: one entry per family under testdata/fuzz/FuzzDiffExec,
+// regenerable with `go test -run TestFuzzCorpusSeeds -regen-corpus`.
+func FuzzDiffExec(f *testing.F) {
+	for _, entry := range fuzzCorpusSeeds() {
+		f.Add(entry)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 10 {
+			t.Skip("need 10 input bytes")
+		}
+		fam := progen.Family(int(data[0]) % progen.NumFamilies)
+		class := progen.Class(int(data[1] & 1)) // small or medium: bounds per-input cost
+		ref := data[1]&0x80 != 0
+		seed := binary.LittleEndian.Uint64(data[2:10])
+		p, err := progen.Generate(fam, seed, class, ref)
+		if err != nil {
+			t.Fatalf("generator failed on valid tuple %v/%v/%d: %v", fam, class, seed, err)
+		}
+		if err := CheckExec(p); err != nil {
+			t.Fatalf("%v/%v/%d ref=%v: %v", fam, class, seed, ref, err)
+		}
+	})
+}
+
+// fuzzCorpusSeeds returns the deterministic seed inputs: one per family,
+// mixing classes and variants.
+func fuzzCorpusSeeds() [][]byte {
+	var out [][]byte
+	for _, fam := range progen.Families() {
+		e := make([]byte, 10)
+		e[0] = byte(fam)
+		e[1] = byte(fam) & 1
+		if fam%3 == 0 {
+			e[1] |= 0x80
+		}
+		binary.LittleEndian.PutUint64(e[2:], uint64(fam)*1337+1)
+		out = append(out, e)
+	}
+	return out
+}

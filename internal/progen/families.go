@@ -1,0 +1,432 @@
+package progen
+
+import (
+	"opgate/internal/asm"
+	"opgate/internal/isa"
+	"opgate/internal/prog"
+)
+
+// This file holds the per-family code generators. Shared conventions:
+//
+//   - s-registers hold loop-invariant bases and live accumulators; the
+//     t-registers are scratch. Callees (stream's reduce) touch only
+//     t-registers and the argument/return registers.
+//   - Every loop is counted against an immediate bound, so programs halt
+//     regardless of data contents.
+//   - Array indices are kept in [0, n) by construction, so every access
+//     stays inside the generated data segment.
+//   - Instruction choice comes from g.code (identical train/ref); data
+//     contents come from g.input; trip-count immediates come from
+//     g.trips. Nothing else may influence the emitted instruction count.
+
+// narrowALUOps is the op pool for byte/halfword accumulator updates.
+var narrowALUOps = []isa.Op{isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpOR, isa.OpXOR}
+
+// wideALUOps is the op pool for 64-bit mixing chains.
+var wideALUOps = []isa.Op{isa.OpADD, isa.OpSUB, isa.OpXOR, isa.OpOR, isa.OpMUL}
+
+// churnOps is the op pool for mixed-width register churn.
+var churnOps = []isa.Op{
+	isa.OpADD, isa.OpSUB, isa.OpAND, isa.OpOR, isa.OpXOR,
+	isa.OpSLL, isa.OpSRL, isa.OpMUL,
+}
+
+// narrow: byte-array processing with masked narrow accumulators — nearly
+// every width-bearing instruction is W8/W16/W32; only address formation
+// stays 64-bit.
+func (g *gen) narrow() {
+	b := g.b
+	n := g.class.elems()
+	passes := g.trips(2)
+
+	b.Bytes("in", g.input.bytes(n, 256))
+	b.Space("out", n)
+
+	b.Func("main")
+	b.LoadAddr(s1, "in")
+	b.LoadAddr(s2, "out")
+	b.Lda(s5, rz, 0)                       // pass counter
+	b.Lda(s6, rz, int64(g.code.intn(256))) // accumulator 1
+	b.Lda(s7, rz, int64(g.code.intn(256))) // accumulator 2
+
+	pass := g.lbl("pass")
+	inner := g.lbl("inner")
+	b.Label(pass)
+	b.Lda(s3, rz, 0) // i
+	b.Label(inner)
+	b.Op3(isa.OpADD, isa.W64, t1, s1, s3)
+	b.Load(isa.W8, t2, t1, 0)
+	// A seed-chosen chain of narrow ALU ops over the two accumulators.
+	k := g.code.between(3, 6)
+	narrowW := []isa.Width{isa.W8, isa.W16}
+	for j := 0; j < k; j++ {
+		op := narrowALUOps[g.code.intn(len(narrowALUOps))]
+		w := narrowW[g.code.intn(len(narrowW))]
+		acc := s6
+		if j%2 == 1 {
+			acc = s7
+		}
+		if g.code.intn(3) == 0 {
+			b.OpI(op, w, acc, acc, int64(1+g.code.intn(255)))
+		} else {
+			b.Op3(op, w, acc, acc, t2)
+		}
+	}
+	if g.code.intn(2) == 0 {
+		// Explicit byte mask: a useful-range anchor (§2.2.5).
+		b.Emit(isa.Instruction{Op: isa.OpMSKL, Width: isa.W8, Rd: s6, Ra: s6})
+	}
+	b.Op3(isa.OpADD, isa.W64, t3, s2, s3)
+	b.Store(isa.W8, s6, t3, 0)
+	b.OpI(isa.OpADD, isa.W32, s3, s3, 1)
+	b.OpI(isa.OpCMPLT, isa.W32, t4, s3, int64(n))
+	b.CondBranch(isa.OpBNE, t4, inner)
+	b.OpI(isa.OpADD, isa.W32, s5, s5, 1)
+	b.OpI(isa.OpCMPLT, isa.W32, t4, s5, int64(passes))
+	b.CondBranch(isa.OpBNE, t4, pass)
+
+	// Checksum over the output buffer, kept 16-bit by an explicit mask.
+	csum := g.lbl("csum")
+	b.Lda(s3, rz, 0)
+	b.Lda(s4, rz, 0)
+	b.Label(csum)
+	b.Op3(isa.OpADD, isa.W64, t1, s2, s3)
+	b.Load(isa.W8, t2, t1, 0)
+	b.Op3(isa.OpADD, isa.W16, s4, s4, t2)
+	b.OpI(isa.OpAND, isa.W16, s4, s4, 0xFFFF)
+	b.OpI(isa.OpADD, isa.W32, s3, s3, 1)
+	b.OpI(isa.OpCMPLT, isa.W32, t3, s3, int64(n))
+	b.CondBranch(isa.OpBNE, t3, csum)
+
+	b.Out(isa.W16, s4)
+	b.Out(isa.W8, s6)
+	b.Halt()
+}
+
+// wide: 64-bit mixing chains (multiply, xor-shift, add) over full-range
+// words — the opposite end of the width spectrum from narrow.
+func (g *gen) wide() {
+	b := g.b
+	n := g.class.elems()
+	passes := g.trips(2)
+
+	words := make([]int64, n)
+	for i := range words {
+		words[i] = int64(g.input.next())
+	}
+	b.Words("words", words)
+	b.Space("sink", n*8)
+
+	b.Func("main")
+	b.LoadAddr(s1, "words")
+	b.LoadAddr(s2, "sink")
+	// A genuinely 64-bit odd multiplier (top bit forced so LoadImm always
+	// expands identically).
+	b.LoadImm(s4, int64(g.code.next()|1|1<<63))
+	b.Lda(s5, rz, 0)                         // pass counter
+	b.Lda(s6, rz, int64(1+g.code.intn(255))) // accumulator
+
+	pass := g.lbl("pass")
+	inner := g.lbl("inner")
+	b.Label(pass)
+	b.Lda(s3, rz, 0) // byte offset
+	b.Label(inner)
+	b.Op3(isa.OpADD, isa.W64, t1, s1, s3)
+	b.Load(isa.W64, t2, t1, 0)
+	m := g.code.between(3, 6)
+	for j := 0; j < m; j++ {
+		switch op := wideALUOps[g.code.intn(len(wideALUOps))]; op {
+		case isa.OpMUL:
+			b.Op3(isa.OpMUL, isa.W64, s6, s6, s4)
+		default:
+			b.Op3(op, isa.W64, s6, s6, t2)
+		}
+		if g.code.intn(2) == 0 {
+			b.OpI(isa.OpSRL, isa.W64, t3, s6, int64(g.code.between(1, 31)))
+			b.Op3(isa.OpXOR, isa.W64, s6, s6, t3)
+		}
+	}
+	b.Op3(isa.OpADD, isa.W64, t4, s2, s3)
+	b.Store(isa.W64, s6, t4, 0)
+	b.OpI(isa.OpADD, isa.W64, s3, s3, 8)
+	b.OpI(isa.OpCMPLT, isa.W64, t5, s3, int64(n*8))
+	b.CondBranch(isa.OpBNE, t5, inner)
+	b.OpI(isa.OpADD, isa.W64, s5, s5, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t5, s5, int64(passes))
+	b.CondBranch(isa.OpBNE, t5, pass)
+
+	b.Out(isa.W64, s6)
+	b.Halt()
+}
+
+// pointer: chase a randomized single-cycle node ring by absolute 5-byte
+// pointers, updating narrow payloads along the way. Addresses dominate the
+// dynamic width mix, like the paper's li/vortex.
+func (g *gen) pointer() {
+	b := g.b
+	nodes := g.class.elems()
+	const stride = 16 // next pointer (8) + payload (8, low byte used)
+	steps := g.trips(nodes * 2)
+
+	// The node array must be the first data symbol: pointer values are
+	// absolute virtual addresses computed against the segment base.
+	perm := g.input.cycle(nodes)
+	vals := make([]int64, 2*nodes)
+	for i := 0; i < nodes; i++ {
+		vals[2*i] = asm.DefaultDataBase + int64(perm[i])*stride
+		vals[2*i+1] = int64(g.input.intn(256))
+	}
+	if addr := b.Words("nodes", vals); addr != asm.DefaultDataBase {
+		g.fail("node array not at the data base (%#x)", addr)
+		return
+	}
+
+	b.Func("main")
+	b.LoadAddr(s1, "nodes") // current node
+	b.Lda(s2, rz, 0)        // step counter
+	b.Lda(s3, rz, 0)        // payload accumulator
+	b.Lda(s4, rz, 0)        // pointer accumulator
+
+	loop := g.lbl("chase")
+	b.Label(loop)
+	b.Load(isa.W64, t1, s1, 0) // next pointer
+	b.Load(isa.W8, t2, s1, 8)  // payload
+	kk := g.code.between(1, 2)
+	narrowW := []isa.Width{isa.W8, isa.W16}
+	for j := 0; j < kk; j++ {
+		op := narrowALUOps[g.code.intn(len(narrowALUOps))]
+		b.Op3(op, narrowW[g.code.intn(len(narrowW))], s3, s3, t2)
+	}
+	if g.code.intn(2) == 0 {
+		b.Store(isa.W8, s3, s1, 8) // write the payload back
+	}
+	b.Op3(isa.OpXOR, isa.W64, s4, s4, t1) // mix the pointer stream
+	b.Op3(isa.OpOR, isa.W64, s1, t1, rz)  // advance
+	b.OpI(isa.OpADD, isa.W64, s2, s2, 1)
+	b.OpI(isa.OpCMPLT, isa.W64, t3, s2, int64(steps))
+	b.CondBranch(isa.OpBNE, t3, loop)
+
+	b.Out(isa.W16, s3)
+	b.Out(isa.W64, s4)
+	b.Halt()
+}
+
+// branchy: an interpreter-like threshold cascade over a byte stream —
+// data-dependent multiway control flow with narrow state updates.
+func (g *gen) branchy() {
+	b := g.b
+	n := g.class.elems()
+	passes := g.trips(3)
+
+	b.Bytes("in", g.input.bytes(n, 256))
+
+	arms := g.code.between(3, 6)
+	// Ascending thresholds cut [0,256) into arms+1 regions.
+	ths := make([]int, arms)
+	for i := range ths {
+		ths[i] = (i + 1) * 256 / (arms + 1)
+		ths[i] += g.code.between(-12, 12)
+	}
+
+	b.Func("main")
+	b.LoadAddr(s1, "in")
+	b.Lda(s5, rz, 0) // accumulator
+	b.Lda(s6, rz, 0) // pass counter
+
+	pass := g.lbl("pass")
+	inner := g.lbl("inner")
+	b.Label(pass)
+	b.Lda(s3, rz, 0) // i
+	b.Label(inner)
+	b.Op3(isa.OpADD, isa.W64, t1, s1, s3)
+	b.Load(isa.W8, t2, t1, 0)
+	// Multiway dispatch: first threshold the byte is below wins.
+	armLbls := make([]string, arms+1)
+	for i := range armLbls {
+		armLbls[i] = g.lbl("arm")
+	}
+	join := g.lbl("join")
+	for i, th := range ths {
+		b.OpI(isa.OpCMPULT, isa.W8, t3, t2, int64(th))
+		b.CondBranch(isa.OpBNE, t3, armLbls[i])
+	}
+	b.Branch(armLbls[arms])
+	narrowW := []isa.Width{isa.W8, isa.W16, isa.W32}
+	for i := range armLbls {
+		b.Label(armLbls[i])
+		op := narrowALUOps[g.code.intn(len(narrowALUOps))]
+		w := narrowW[g.code.intn(len(narrowW))]
+		if g.code.intn(2) == 0 {
+			b.OpI(op, w, s5, s5, int64(1+g.code.intn(255)))
+		} else {
+			b.Op3(op, w, s5, s5, t2)
+		}
+		b.Branch(join)
+	}
+	b.Label(join)
+	// A short data-dependent skip on the byte's parity.
+	skip := g.lbl("skip")
+	b.OpI(isa.OpAND, isa.W8, t4, t2, 1)
+	b.CondBranch(isa.OpBEQ, t4, skip)
+	b.OpI(isa.OpXOR, isa.W16, s5, s5, int64(1+g.code.intn(255)))
+	b.Label(skip)
+	b.OpI(isa.OpADD, isa.W32, s3, s3, 1)
+	b.OpI(isa.OpCMPLT, isa.W32, t5, s3, int64(n))
+	b.CondBranch(isa.OpBNE, t5, inner)
+	b.OpI(isa.OpADD, isa.W32, s6, s6, 1)
+	b.OpI(isa.OpCMPLT, isa.W32, t5, s6, int64(passes))
+	b.CondBranch(isa.OpBNE, t5, pass)
+
+	b.Out(isa.W32, s5)
+	b.Halt()
+}
+
+// stream: a row/column loop nest streaming a 2D array at a narrow element
+// width with multiply-accumulate reductions, plus a reduce callee so
+// generated code exercises the call path.
+func (g *gen) stream() {
+	b := g.b
+	rows := g.code.between(8, 16)
+	cols := g.class.elems() / rows
+	if cols < 4 {
+		cols = 4
+	}
+	passes := g.trips(2)
+
+	// Element width is a static family parameter drawn per seed.
+	ew := isa.W16
+	shift := int64(1)
+	if g.code.intn(2) == 0 {
+		ew = isa.W32
+		shift = 2
+	}
+	esize := int(ew)
+	mat := make([]byte, rows*cols*esize)
+	for i := 0; i < rows*cols; i++ {
+		v := g.input.intn(1 << 14)
+		for bn := 0; bn < esize; bn++ {
+			mat[i*esize+bn] = byte(v >> (8 * bn))
+		}
+	}
+	b.Bytes("mat", mat)
+	b.Space("rowsum", rows*4)
+	coeff := int64(3 + 2*g.code.intn(8))
+
+	b.Func("main")
+	b.LoadAddr(s1, "mat")
+	b.LoadAddr(s2, "rowsum")
+	b.Lda(s5, rz, 0) // total
+	b.Lda(s6, rz, 0) // pass counter
+
+	pass := g.lbl("pass")
+	rowL := g.lbl("row")
+	colL := g.lbl("col")
+	b.Label(pass)
+	b.Lda(s3, rz, 0) // r
+	b.Label(rowL)
+	b.Lda(t5, rz, 0)                               // row accumulator
+	b.Lda(s4, rz, 0)                               // c
+	b.OpI(isa.OpMUL, isa.W32, t1, s3, int64(cols)) // row element base
+	b.Label(colL)
+	b.Op3(isa.OpADD, isa.W32, t2, t1, s4)
+	b.OpI(isa.OpSLL, isa.W32, t3, t2, shift)
+	b.Op3(isa.OpADD, isa.W64, t4, s1, t3)
+	b.Load(ew, t6, t4, 0)
+	b.OpI(isa.OpMUL, isa.W32, t7, t6, coeff)
+	b.Op3(isa.OpADD, isa.W32, t5, t5, t7)
+	b.OpI(isa.OpADD, isa.W32, s4, s4, 1)
+	b.OpI(isa.OpCMPLT, isa.W32, t8, s4, int64(cols))
+	b.CondBranch(isa.OpBNE, t8, colL)
+	b.OpI(isa.OpSLL, isa.W32, t2, s3, 2)
+	b.Op3(isa.OpADD, isa.W64, t3, s2, t2)
+	b.Store(isa.W32, t5, t3, 0)
+	b.Op3(isa.OpADD, isa.W32, s5, s5, t5)
+	b.OpI(isa.OpADD, isa.W32, s3, s3, 1)
+	b.OpI(isa.OpCMPLT, isa.W32, t8, s3, int64(rows))
+	b.CondBranch(isa.OpBNE, t8, rowL)
+	b.OpI(isa.OpADD, isa.W32, s6, s6, 1)
+	b.OpI(isa.OpCMPLT, isa.W32, t8, s6, int64(passes))
+	b.CondBranch(isa.OpBNE, t8, pass)
+
+	// Reduce the row sums in a callee (argument registers, JSR/RET).
+	b.LoadAddr(prog.RegArg0, "rowsum")
+	b.Lda(prog.RegArg1, rz, int64(rows))
+	b.Call("reduce")
+	b.Op3(isa.OpXOR, isa.W32, s5, s5, prog.RegRet)
+	b.Out(isa.W32, s5)
+	b.Halt()
+
+	b.Func("reduce")
+	rloop := g.lbl("rloop")
+	b.Lda(t1, rz, 0) // acc
+	b.Lda(t2, rz, 0) // i
+	b.Label(rloop)
+	b.OpI(isa.OpSLL, isa.W32, t3, t2, 2)
+	b.Op3(isa.OpADD, isa.W64, t4, prog.RegArg0, t3)
+	b.Load(isa.W32, t5, t4, 0)
+	b.Op3(isa.OpADD, isa.W32, t1, t1, t5)
+	b.OpI(isa.OpADD, isa.W32, t2, t2, 1)
+	b.Op3(isa.OpCMPLT, isa.W32, t6, t2, prog.RegArg1)
+	b.CondBranch(isa.OpBNE, t6, rloop)
+	b.Op3(isa.OpOR, isa.W32, prog.RegRet, t1, rz) // return value
+	b.Ret()
+}
+
+// churn: mixed-width register churn — random ALU ops at random widths over
+// a rotating register pool, with periodic reloads and spills to keep the
+// memory system in play.
+func (g *gen) churn() {
+	b := g.b
+	const poolWords = 16
+	trips := g.trips(g.class.elems() * 2)
+
+	seeds := make([]int64, poolWords)
+	for i := range seeds {
+		seeds[i] = int64(g.input.next())
+	}
+	b.Words("seeds", seeds)
+	b.Space("sink", 64)
+
+	pool := []isa.Reg{t1, t2, t3, t4, t5, t6, t7, t8}
+
+	b.Func("main")
+	b.LoadAddr(s1, "seeds")
+	b.LoadAddr(s2, "sink")
+	b.Lda(s3, rz, 0) // counter
+	for i, r := range pool {
+		b.Load(isa.W64, r, s1, int64(i*8))
+	}
+
+	loop := g.lbl("churn")
+	b.Label(loop)
+	m := g.code.between(8, 14)
+	for j := 0; j < m; j++ {
+		op := churnOps[g.code.intn(len(churnOps))]
+		w := isa.Widths[g.code.intn(len(isa.Widths))]
+		rd := pool[g.code.intn(len(pool))]
+		ra := pool[g.code.intn(len(pool))]
+		switch {
+		case op == isa.OpSLL || op == isa.OpSRL:
+			b.OpI(op, w, rd, ra, int64(g.code.between(1, 7)))
+		case g.code.intn(4) == 0:
+			b.OpI(op, w, rd, ra, int64(1+g.code.intn(255)))
+		default:
+			b.Op3(op, w, rd, ra, pool[g.code.intn(len(pool))])
+		}
+	}
+	// Refresh one pool register from the seed words and spill another.
+	b.Load(isa.W64, pool[g.code.intn(len(pool))], s1, int64(g.code.intn(poolWords)*8))
+	b.Store(isa.W32, pool[g.code.intn(len(pool))], s2, int64(g.code.intn(16)*4))
+	b.OpI(isa.OpADD, isa.W32, s3, s3, 1)
+	b.OpI(isa.OpCMPLT, isa.W32, s4, s3, int64(trips))
+	b.CondBranch(isa.OpBNE, s4, loop)
+
+	// Fold the pool into one observable value.
+	b.Lda(s5, rz, 0)
+	for _, r := range pool {
+		b.Op3(isa.OpXOR, isa.W64, s5, s5, r)
+	}
+	b.Out(isa.W64, s5)
+	b.Out(isa.W32, s3)
+	b.Halt()
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"opgate/internal/prog"
+	"opgate/internal/progen"
+)
+
+// Synthetic workloads are progen-generated programs registered as
+// first-class benchmarks: they resolve through ByName like the eight
+// kernels, so every experiment driver, trace cache and figure matrix runs
+// over them unmodified. The Train input class maps to the generator's
+// train variant and Ref to the (longer, reseeded) ref variant, preserving
+// the profiling/evaluation methodology end-to-end.
+
+// synPrefix marks synthetic workload names: "syn:<family>/<class>/<seed>".
+const synPrefix = "syn:"
+
+// SyntheticName returns the registry name of a generated workload,
+// e.g. "syn:pointer/small/42".
+func SyntheticName(f progen.Family, seed uint64, c progen.Class) string {
+	return fmt.Sprintf("%s%s/%s/%d", synPrefix, f, c, seed)
+}
+
+// Synthetic constructs the (family, seed, class) generated workload. The
+// name round-trips through ByName.
+func Synthetic(f progen.Family, seed uint64, c progen.Class) *Workload {
+	return &Workload{
+		Name: SyntheticName(f, seed, c),
+		Build: func(class InputClass) (*prog.Program, error) {
+			return progen.Generate(f, seed, c, class == Ref)
+		},
+	}
+}
+
+// IsSynthetic reports whether name denotes a generated workload.
+func IsSynthetic(name string) bool { return strings.HasPrefix(name, synPrefix) }
+
+// parseSynthetic resolves a "syn:<family>/<class>/<seed>" name.
+func parseSynthetic(name string) (*Workload, error) {
+	spec := strings.TrimPrefix(name, synPrefix)
+	parts := strings.Split(spec, "/")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("workload: malformed synthetic name %q (want %sfamily/class/seed)", name, synPrefix)
+	}
+	f, err := progen.ParseFamily(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("workload: %q: %w", name, err)
+	}
+	c, err := progen.ParseClass(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("workload: %q: %w", name, err)
+	}
+	seed, err := strconv.ParseUint(parts[2], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %q: bad seed %q", name, parts[2])
+	}
+	return Synthetic(f, seed, c), nil
+}
+
+// CuratedSeedsPerFamily is how many fixed seeds per family the curated
+// synthetic set carries.
+const CuratedSeedsPerFamily = 2
+
+// CuratedSynthetics returns the named curated set of generated workloads:
+// a fixed grid of seeds per behavioral family at the Small size class,
+// spanning the dynamic-width spectrum from narrow to wide. It is the
+// suite the -synthetic ogbench mode and the differential CI runs extend
+// the eight kernels with.
+func CuratedSynthetics() []*Workload {
+	var ws []*Workload
+	for _, f := range progen.Families() {
+		for seed := uint64(1); seed <= CuratedSeedsPerFamily; seed++ {
+			ws = append(ws, Synthetic(f, seed, progen.Small))
+		}
+	}
+	return ws
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"opgate/internal/emu"
+	"opgate/internal/progen"
+)
+
+// TestInputClassString covers the input-class names the registry and the
+// suite key caches on.
+func TestInputClassString(t *testing.T) {
+	if got := Train.String(); got != "train" {
+		t.Errorf("Train.String() = %q", got)
+	}
+	if got := Ref.String(); got != "ref" {
+		t.Errorf("Ref.String() = %q", got)
+	}
+	// Out-of-range classes fall back to ref (the evaluation default).
+	if got := InputClass(7).String(); got != "ref" {
+		t.Errorf("InputClass(7).String() = %q", got)
+	}
+}
+
+// TestByNameKernels: every kernel resolves to itself, and unknown names
+// are rejected with the name in the error.
+func TestByNameKernels(t *testing.T) {
+	for _, w := range All() {
+		got, err := ByName(w.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", w.Name, err)
+		}
+		if got.Name != w.Name {
+			t.Errorf("ByName(%q) returned %q", w.Name, got.Name)
+		}
+	}
+	_, err := ByName("fortran")
+	if err == nil {
+		t.Fatal("ByName accepted an unknown benchmark")
+	}
+	if !strings.Contains(err.Error(), "fortran") {
+		t.Errorf("error %q does not name the missing benchmark", err)
+	}
+}
+
+// TestSyntheticRoundTrip: synthetic names round-trip through ByName and
+// build runnable programs for both input classes.
+func TestSyntheticRoundTrip(t *testing.T) {
+	name := SyntheticName(progen.Pointer, 42, progen.Small)
+	if name != "syn:pointer/small/42" {
+		t.Fatalf("SyntheticName = %q", name)
+	}
+	if !IsSynthetic(name) || IsSynthetic("compress") {
+		t.Error("IsSynthetic misclassifies")
+	}
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != name {
+		t.Errorf("resolved name %q, want %q", w.Name, name)
+	}
+	var dyn [2]int64
+	for _, class := range []InputClass{Train, Ref} {
+		p, err := w.Build(class)
+		if err != nil {
+			t.Fatalf("build(%v): %v", class, err)
+		}
+		res, err := emu.Execute(p)
+		if err != nil {
+			t.Fatalf("run(%v): %v", class, err)
+		}
+		dyn[class] = res.Dyn
+	}
+	if dyn[Ref] <= dyn[Train] {
+		t.Errorf("ref (%d) not longer than train (%d)", dyn[Ref], dyn[Train])
+	}
+}
+
+// TestSyntheticLookupErrors: malformed synthetic names fail with precise
+// errors rather than resolving to an arbitrary generator.
+func TestSyntheticLookupErrors(t *testing.T) {
+	cases := []struct{ name, wantSub string }{
+		{"syn:pointer/small", "malformed"},
+		{"syn:pointer/small/1/extra", "malformed"},
+		{"syn:quantum/small/1", "unknown family"},
+		{"syn:pointer/jumbo/1", "unknown size class"},
+		{"syn:pointer/small/banana", "bad seed"},
+		{"syn:pointer/small/-3", "bad seed"},
+	}
+	for _, c := range cases {
+		_, err := ByName(c.name)
+		if err == nil {
+			t.Errorf("ByName(%q) succeeded, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ByName(%q) error %q, want substring %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+// TestCuratedSynthetics: the curated set covers every family, resolves
+// through the registry, and never collides with the kernel names.
+func TestCuratedSynthetics(t *testing.T) {
+	ws := CuratedSynthetics()
+	if want := progen.NumFamilies * CuratedSeedsPerFamily; len(ws) != want {
+		t.Fatalf("curated set has %d workloads, want %d", len(ws), want)
+	}
+	seen := map[string]bool{}
+	for _, w := range All() {
+		seen[w.Name] = true
+	}
+	families := map[string]bool{}
+	for _, w := range ws {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		r, err := ByName(w.Name)
+		if err != nil {
+			t.Errorf("curated %q does not resolve: %v", w.Name, err)
+			continue
+		}
+		if r.Name != w.Name {
+			t.Errorf("curated %q resolved to %q", w.Name, r.Name)
+		}
+		families[strings.Split(strings.TrimPrefix(w.Name, "syn:"), "/")[0]] = true
+	}
+	if len(families) != progen.NumFamilies {
+		t.Errorf("curated set spans %d families, want %d", len(families), progen.NumFamilies)
+	}
+}

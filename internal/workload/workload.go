@@ -60,12 +60,16 @@ func All() []*Workload {
 	}
 }
 
-// ByName looks a workload up.
+// ByName looks a workload up: one of the eight kernels by name, or a
+// generated workload by its "syn:<family>/<class>/<seed>" registry name.
 func ByName(name string) (*Workload, error) {
 	for _, w := range All() {
 		if w.Name == name {
 			return w, nil
 		}
+	}
+	if IsSynthetic(name) {
+		return parseSynthetic(name)
 	}
 	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
 }

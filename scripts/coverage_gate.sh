@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# coverage_gate.sh [go-test-output-file] — print per-package statement
+# coverage and enforce floors on the packages the differential harness
+# leans on: the emulator (the architectural reference model) and the
+# program generator (the workload space). Floors sit below current
+# coverage with a small margin; raise them as coverage grows, never lower
+# them to admit a regression.
+#
+# With an argument, parses an existing `go test -cover` transcript (CI
+# passes the main test step's output instead of re-running the suites);
+# without one, runs the tests itself.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ $# -ge 1 ]; then
+  out=$(cat "$1")
+else
+  out=$(go test -count=1 -cover ./internal/... 2>&1) || { echo "$out"; exit 1; }
+fi
+echo "$out"
+echo
+
+fail=0
+check() {
+  local pkg=$1 min=$2 line pct
+  line=$(echo "$out" | grep -E "^ok[[:space:]]+$pkg[[:space:]]" || true)
+  pct=$(echo "$line" | grep -oE '[0-9]+\.[0-9]+% of statements' | grep -oE '^[0-9]+\.[0-9]+' || true)
+  if [ -z "$pct" ]; then
+    echo "coverage gate: no coverage figure for $pkg"
+    fail=1
+    return
+  fi
+  if awk "BEGIN{exit !($pct < $min)}"; then
+    echo "coverage gate: FAIL $pkg ${pct}% < ${min}% floor"
+    fail=1
+  else
+    echo "coverage gate: ok   $pkg ${pct}% >= ${min}% floor"
+  fi
+}
+
+check opgate/internal/emu 85.0
+check opgate/internal/progen 90.0
+
+exit $fail
