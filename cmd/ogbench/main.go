@@ -12,17 +12,22 @@
 //	ogbench -synthetic all                     # curated set, every family
 //	ogbench -synthetic narrow,pointer -seed 7  # chosen families at a seed
 //	ogbench -synthetic syn:wide/large/3        # one exact generation
+//
+// With -store, packed retirement traces persist in a content-addressed
+// store under the given directory and are consulted before anything is
+// emulated, so a warm rerun performs zero emulations and prints
+// byte-identical reports; -store-limit bounds the store's size (LRU).
+// A per-run summary ("ogbench: emulations=… store: hits=…") goes to
+// stderr, leaving stdout exactly the reports.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"opgate/internal/harness"
-	"opgate/internal/progen"
-	"opgate/internal/workload"
+	"opgate/internal/store"
 )
 
 func main() {
@@ -32,18 +37,36 @@ func main() {
 	synthetic := flag.String("synthetic", "", `synthetic workloads: "all" (curated set), a comma-separated family list, or exact syn:family/class/seed names`)
 	seed := flag.Uint64("seed", 1, "generator seed for -synthetic family lists")
 	class := flag.String("class", "small", "generator size class for -synthetic family lists (small|medium|large)")
+	storeDir := flag.String("store", "", "persistent trace store directory (content-addressed, shared across runs)")
+	storeLimit := flag.String("store-limit", "2GiB", "store size budget for -store, e.g. 256MiB, 2GiB, or bytes (0 = unlimited)")
 	flag.Parse()
 
 	explicit := map[string]bool{}
 	flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
 
 	s := harness.NewSuite(*quick)
-	names, err := syntheticNames(*synthetic, *seed, *class, explicit["seed"] || explicit["class"])
+	names, err := harness.ExpandSynthetics(*synthetic, *seed, *class, explicit["seed"] || explicit["class"])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ogbench:", err)
+		fmt.Fprintln(os.Stderr, "ogbench: -synthetic:", err)
 		os.Exit(2)
 	}
 	s.Synthetics = names
+	if *storeDir != "" {
+		limit, err := store.ParseSize(*storeLimit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ogbench: -store-limit:", err)
+			os.Exit(2)
+		}
+		st, err := store.Open(*storeDir, limit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ogbench:", err)
+			os.Exit(2)
+		}
+		s.Store = st
+	} else if explicit["store-limit"] {
+		fmt.Fprintln(os.Stderr, "ogbench: -store-limit requires -store")
+		os.Exit(2)
+	}
 	run := func() error {
 		if *experiment == "all" {
 			return s.RunAll(os.Stdout, *threshold)
@@ -54,67 +77,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ogbench:", err)
 		os.Exit(1)
 	}
-}
-
-// syntheticNames expands the -synthetic flag into registry names, each
-// validated against the workload registry before the suite starts.
-// seedClassSet flags an explicit -seed/-class, which only family-list
-// specs consume; silently dropping them would run workloads the user did
-// not ask for, so that combination is rejected instead.
-func syntheticNames(spec string, seed uint64, class string, seedClassSet bool) ([]string, error) {
-	if spec == "" {
-		if seedClassSet {
-			return nil, fmt.Errorf("-seed/-class require a -synthetic family list")
-		}
-		return nil, nil
+	if s.Store != nil {
+		st := s.Store.Stats()
+		fmt.Fprintf(os.Stderr,
+			"ogbench: emulations=%d store: hits=%d misses=%d puts=%d put-errors=%d evictions=%d\n",
+			s.Emulations(), st.Hits, st.Misses, st.Puts, st.PutErrors, st.Evictions)
 	}
-	var names []string
-	usedSeedClass := false
-	if spec == "all" {
-		for _, w := range workload.CuratedSynthetics() {
-			names = append(names, w.Name)
-		}
-	} else {
-		c, err := progen.ParseClass(class)
-		if err != nil {
-			return nil, err
-		}
-		for _, part := range strings.Split(spec, ",") {
-			part = strings.TrimSpace(part)
-			if part == "" {
-				continue
-			}
-			if workload.IsSynthetic(part) {
-				names = append(names, part)
-				continue
-			}
-			f, err := progen.ParseFamily(part)
-			if err != nil {
-				return nil, fmt.Errorf("-synthetic: %w", err)
-			}
-			usedSeedClass = true
-			names = append(names, workload.SyntheticName(f, seed, c))
-		}
-	}
-	if seedClassSet && !usedSeedClass {
-		return nil, fmt.Errorf("-seed/-class only apply to -synthetic family lists, not %q", spec)
-	}
-	if len(names) == 0 {
-		return nil, fmt.Errorf("-synthetic %q expands to no workloads", spec)
-	}
-	// Dedupe: a family entry and an exact syn: name can expand to the same
-	// workload, which would double-weight it in suite averages.
-	seen := make(map[string]bool, len(names))
-	uniq := names[:0]
-	for _, name := range names {
-		if seen[name] {
-			continue
-		}
-		seen[name] = true
-		if _, err := workload.ByName(name); err != nil {
-			return nil, err
-		}
-		uniq = append(uniq, name)
-	}
-	return uniq, nil
 }

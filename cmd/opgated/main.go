@@ -1,0 +1,59 @@
+// Command opgated serves the paper's experiment pipeline over HTTP: a
+// long-running simulation service with a bounded worker pool, shared
+// memoized suites, and (with -store) a persistent content-addressed
+// trace/report store, so repeated and concurrent requests re-emulate
+// nothing already seen.
+//
+//	opgated -addr :8080 -store /var/cache/opgate -workers 4 -quick
+//
+// API (JSON unless noted):
+//
+//	POST /v1/experiments      {"experiment":"fig8","threshold":50,
+//	                           "synthetic":"narrow,pointer","seed":7}
+//	                          → 202 + job; identical in-flight requests
+//	                          coalesce onto one job (200)
+//	GET  /v1/experiments      list runnable experiment IDs
+//	GET  /v1/jobs/{id}        job snapshot; ?follow=1 streams NDJSON
+//	                          progress frames until the job finishes
+//	GET  /v1/reports/{key}    the rendered report, text/plain, straight
+//	                          from the store/cache
+//	GET  /healthz             liveness + job and store counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"opgate/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	quick := flag.Bool("quick", false, "evaluate on train inputs (faster)")
+	workers := flag.Int("workers", 2, "concurrent experiment jobs")
+	queue := flag.Int("queue", 256, "queued-job bound (excess submissions get 503)")
+	storeDir := flag.String("store", "", "persistent trace/report store directory")
+	storeLimit := flag.String("store-limit", "2GiB", "store size budget for -store, e.g. 256MiB, 2GiB, or bytes (0 = unlimited)")
+	flag.Parse()
+
+	cfg := serverConfig{Quick: *quick, Workers: *workers, Queue: *queue}
+	if *storeDir != "" {
+		limit, err := store.ParseSize(*storeLimit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opgated: -store-limit:", err)
+			os.Exit(2)
+		}
+		st, err := store.Open(*storeDir, limit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opgated:", err)
+			os.Exit(2)
+		}
+		cfg.Store = st
+	}
+	log.Printf("opgated: listening on %s (quick=%v workers=%d store=%q)",
+		*addr, *quick, *workers, *storeDir)
+	log.Fatal(http.ListenAndServe(*addr, newServer(cfg)))
+}

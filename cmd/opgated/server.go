@@ -1,0 +1,492 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"opgate/internal/harness"
+	"opgate/internal/store"
+)
+
+// serverConfig fixes the evaluation envelope for the process: every job
+// shares it, so every job can share the memoized suites underneath.
+type serverConfig struct {
+	Quick   bool         // evaluate on train inputs
+	Workers int          // worker-pool size (concurrent jobs)
+	Queue   int          // queued-job bound; excess POSTs get 503
+	Store   *store.Store // optional persistent trace/report store
+}
+
+// server is the opgated HTTP service: a bounded worker pool draining an
+// experiment queue over shared, memoized harness suites. One suite exists
+// per distinct synthetic workload set; all of them share the process-wide
+// trace memo semantics of harness.Suite (per-key singleflight), so
+// concurrent jobs that touch the same (workload, variant) coalesce on one
+// emulation, and the persistent store extends that coalescing across
+// restarts.
+type server struct {
+	cfg serverConfig
+	mux *http.ServeMux
+
+	queue chan *job
+
+	mu         sync.Mutex
+	jobs       map[string]*job
+	jobOrder   []string                  // creation order, for terminal-job retirement
+	pending    map[store.Key]*job        // queued/running jobs by report key
+	suites     map[string]*harness.Suite // one memoized suite per synthetic set
+	suiteOrder []string                  // creation order, for suite eviction
+	seq        int
+
+	reportMu    sync.Mutex
+	reports     map[store.Key][]byte // in-memory report cache (also persisted)
+	reportOrder []store.Key
+}
+
+// reportCacheMax bounds the in-memory report cache (FIFO); the persistent
+// store, when configured, keeps everything older.
+const reportCacheMax = 128
+
+// suiteCacheMax bounds the memoized suites: synthetic specs are
+// client-supplied (a 64-bit seed space), so without a cap a request loop
+// over distinct seeds would grow suite memos — built programs, packed
+// traces, simulation results — without bound. Evicting a suite only costs
+// recomputation (the persistent store still serves its traces).
+const suiteCacheMax = 8
+
+// jobRetainMax bounds the finished-job history; queued and running jobs
+// are never retired (the queue bound caps how many of those can exist).
+const jobRetainMax = 512
+
+// newServer builds the service and starts its worker pool.
+func newServer(cfg serverConfig) *server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 256
+	}
+	s := &server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		queue:   make(chan *job, cfg.Queue),
+		jobs:    map[string]*job{},
+		pending: map[store.Key]*job{},
+		suites:  map[string]*harness.Suite{},
+		reports: map[store.Key][]byte{},
+	}
+	s.mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/reports/{key}", s.handleReport)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// experimentRequest is the POST /v1/experiments body. Experiment names an
+// entry of harness.Experiments (or "all"); Synthetic/Seed/Class widen the
+// workload set with generated programs, in exactly the syntax of ogbench's
+// -synthetic/-seed/-class flags.
+type experimentRequest struct {
+	Experiment string  `json:"experiment"`
+	Threshold  float64 `json:"threshold,omitempty"` // VRS threshold; 0 means the default 50
+	Synthetic  string  `json:"synthetic,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Class      string  `json:"class,omitempty"`
+}
+
+// jobView is the wire form of a job, also used as the follow-stream frame.
+type jobView struct {
+	ID         string          `json:"id"`
+	Experiment string          `json:"experiment"`
+	Threshold  float64         `json:"threshold"`
+	Synthetics []string        `json:"synthetics,omitempty"`
+	Status     string          `json:"status"`
+	ReportKey  string          `json:"report_key"`
+	Error      string          `json:"error,omitempty"`
+	Created    time.Time       `json:"created"`
+	Progress   []progressEvent `json:"progress"`
+}
+
+type progressEvent struct {
+	Time time.Time `json:"time"`
+	Msg  string    `json:"msg"`
+}
+
+// validExperiment reports whether id names a runnable experiment.
+func validExperiment(id string) bool {
+	if id == "all" {
+		return true
+	}
+	for _, e := range harness.Experiments() {
+		if e.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req experimentRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if !validExperiment(req.Experiment) {
+		httpError(w, http.StatusBadRequest, "unknown experiment %q (GET /v1/experiments lists them)", req.Experiment)
+		return
+	}
+	if req.Threshold == 0 {
+		req.Threshold = 50
+	}
+	seed, class := req.Seed, req.Class
+	seedClassSet := seed != 0 || class != ""
+	if seed == 0 {
+		seed = 1
+	}
+	if class == "" {
+		class = "small"
+	}
+	names, err := harness.ExpandSynthetics(req.Synthetic, seed, class, seedClassSet)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The report key carries the executable's own hash: a rebuilt server
+	// (changed coefficient, new formatter) derives fresh addresses, so a
+	// shared store can never serve a stale report across recompiles.
+	key := store.ReportKey(req.Experiment, s.cfg.Quick, req.Threshold, names, store.SelfIdentity())
+	s.mu.Lock()
+	if j, ok := s.pending[key]; ok {
+		// An identical request is already queued or running: coalesce onto
+		// it instead of doing the work twice.
+		s.mu.Unlock()
+		s.respondJob(w, http.StatusOK, j)
+		return
+	}
+	s.seq++
+	j := &job{
+		id:         fmt.Sprintf("job-%06d", s.seq),
+		experiment: req.Experiment,
+		threshold:  req.Threshold,
+		synthetics: names,
+		reportKey:  key,
+		status:     "queued",
+		created:    time.Now(),
+	}
+	j.log("queued")
+	// Register before enqueueing so a fast worker never races the maps;
+	// deregister if the queue turns out to be full.
+	s.jobs[j.id] = j
+	s.pending[key] = j
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.id)
+		delete(s.pending, key)
+		s.seq--
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.Queue)
+		return
+	}
+	s.jobOrder = append(s.jobOrder, j.id)
+	s.retireJobsLocked()
+	s.mu.Unlock()
+	s.respondJob(w, http.StatusAccepted, j)
+}
+
+func (s *server) respondJob(w http.ResponseWriter, status int, j *job) {
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, status, j.view())
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	ids := []string{"all"}
+	for _, e := range harness.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": ids})
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if r.URL.Query().Get("follow") == "" {
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	// Streamed progress: one NDJSON frame per new progress event, flushed
+	// as it happens, until the job reaches a terminal state.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		v := j.view()
+		for ; sent < len(v.Progress); sent++ {
+			frame := v
+			frame.Progress = v.Progress[sent : sent+1]
+			if enc.Encode(frame) != nil {
+				return // client went away
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if v.Status == "done" || v.Status == "failed" {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	key, err := store.ParseKey(r.PathValue("key"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, ok := s.getReport(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no report under that key (yet)")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(data)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobCounts := map[string]int{}
+	for _, j := range s.jobs {
+		jobCounts[j.view().Status]++
+	}
+	s.mu.Unlock()
+	resp := map[string]any{"ok": true, "jobs": jobCounts}
+	if s.cfg.Store != nil {
+		resp["store"] = s.cfg.Store.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// retireJobsLocked drops the oldest terminal jobs beyond the retention
+// bound; active jobs always survive (s.mu held).
+func (s *server) retireJobsLocked() {
+	for len(s.jobOrder) > jobRetainMax {
+		retired := false
+		for i, id := range s.jobOrder {
+			if j, ok := s.jobs[id]; ok && !j.terminal() {
+				continue
+			}
+			delete(s.jobs, id)
+			s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+			retired = true
+			break
+		}
+		if !retired {
+			return // everything old is still active; let it finish
+		}
+	}
+}
+
+// suiteFor returns the shared memoized suite for a synthetic workload set,
+// creating it on first use. The cache is bounded (suiteCacheMax, oldest
+// first): evicting a suite only drops memos — with a store attached its
+// traces remain one disk read away.
+func (s *server) suiteFor(synthetics []string) *harness.Suite {
+	key := strings.Join(synthetics, "\x00")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	suite, ok := s.suites[key]
+	if !ok {
+		suite = harness.NewSuite(s.cfg.Quick)
+		suite.Synthetics = synthetics
+		suite.Store = s.cfg.Store
+		s.suites[key] = suite
+		s.suiteOrder = append(s.suiteOrder, key)
+		for len(s.suiteOrder) > suiteCacheMax {
+			delete(s.suites, s.suiteOrder[0])
+			s.suiteOrder = s.suiteOrder[1:]
+		}
+	}
+	return suite
+}
+
+// worker drains the job queue; the pool size bounds concurrent experiment
+// evaluation (each job itself fans out over the suite's worker pool).
+func (s *server) worker() {
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *server) runJob(j *job) {
+	defer func() {
+		s.mu.Lock()
+		if s.pending[j.reportKey] == j {
+			delete(s.pending, j.reportKey)
+		}
+		s.mu.Unlock()
+	}()
+	j.setStatus("running")
+
+	// Warm path: an earlier job (or process, via the store) already
+	// rendered this exact report.
+	if data, ok := s.getReport(j.reportKey); ok {
+		j.log(fmt.Sprintf("served from cache (%d bytes)", len(data)))
+		j.setStatus("done")
+		return
+	}
+
+	suite := s.suiteFor(j.synthetics)
+	var buf bytes.Buffer
+	if j.experiment == "all" {
+		exps := harness.Experiments()
+		for i, e := range exps {
+			if err := e.Run(suite, &buf, j.threshold); err != nil {
+				j.fail(fmt.Sprintf("%s: %v", e.ID, err))
+				return
+			}
+			j.log(fmt.Sprintf("%s done (%d/%d)", e.ID, i+1, len(exps)))
+		}
+	} else {
+		if err := suite.RunExperiment(&buf, j.experiment, j.threshold); err != nil {
+			j.fail(err.Error())
+			return
+		}
+		j.log(j.experiment + " done")
+	}
+	s.putReport(j.reportKey, buf.Bytes())
+	j.log(fmt.Sprintf("report stored (%d bytes)", buf.Len()))
+	j.setStatus("done")
+}
+
+// getReport serves a report from the in-memory cache, falling back to the
+// persistent store (and re-warming the memory cache on a hit).
+func (s *server) getReport(key store.Key) ([]byte, bool) {
+	s.reportMu.Lock()
+	data, ok := s.reports[key]
+	s.reportMu.Unlock()
+	if ok {
+		return data, true
+	}
+	if s.cfg.Store == nil {
+		return nil, false
+	}
+	data, ok = s.cfg.Store.Get(key)
+	if ok {
+		s.cacheReport(key, data)
+	}
+	return data, ok
+}
+
+func (s *server) putReport(key store.Key, data []byte) {
+	s.cacheReport(key, data)
+	if s.cfg.Store != nil {
+		_ = s.cfg.Store.Put(key, data) // best-effort, like trace write-back
+	}
+}
+
+func (s *server) cacheReport(key store.Key, data []byte) {
+	s.reportMu.Lock()
+	defer s.reportMu.Unlock()
+	if _, ok := s.reports[key]; !ok {
+		s.reportOrder = append(s.reportOrder, key)
+		for len(s.reportOrder) > reportCacheMax {
+			delete(s.reports, s.reportOrder[0])
+			s.reportOrder = s.reportOrder[1:]
+		}
+	}
+	s.reports[key] = data
+}
+
+// job is one enqueued experiment evaluation.
+type job struct {
+	id         string
+	experiment string
+	threshold  float64
+	synthetics []string
+	reportKey  store.Key
+
+	mu       sync.Mutex
+	status   string
+	err      string
+	created  time.Time
+	progress []progressEvent
+}
+
+func (j *job) setStatus(status string) {
+	j.mu.Lock()
+	j.status = status
+	j.progress = append(j.progress, progressEvent{time.Now(), status})
+	j.mu.Unlock()
+}
+
+func (j *job) fail(msg string) {
+	j.mu.Lock()
+	j.status = "failed"
+	j.err = msg
+	j.progress = append(j.progress, progressEvent{time.Now(), "failed: " + msg})
+	j.mu.Unlock()
+}
+
+func (j *job) log(msg string) {
+	j.mu.Lock()
+	j.progress = append(j.progress, progressEvent{time.Now(), msg})
+	j.mu.Unlock()
+}
+
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status == "done" || j.status == "failed"
+}
+
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{
+		ID:         j.id,
+		Experiment: j.experiment,
+		Threshold:  j.threshold,
+		Synthetics: j.synthetics,
+		Status:     j.status,
+		ReportKey:  string(j.reportKey),
+		Error:      j.err,
+		Created:    j.created,
+		Progress:   append([]progressEvent(nil), j.progress...),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

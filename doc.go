@@ -17,4 +17,12 @@
 // -seed/-class) runs every experiment over the expanded suite, and
 // internal/progen/difftest asserts the substrate's equivalence invariants
 // on arbitrary seeds.
+//
+// Evaluation artifacts persist across processes through internal/store, a
+// content-addressed trace/report store: `ogbench -store DIR` (with an LRU
+// byte budget via -store-limit) makes a warm rerun emulate nothing while
+// printing byte-identical reports, and the `opgated` binary serves the
+// same pipeline as a long-running HTTP service (POST /v1/experiments,
+// GET /v1/jobs/{id}, GET /v1/reports/{key}) with a bounded worker pool
+// over shared memoized suites.
 package opgate

@@ -1,0 +1,79 @@
+package emu
+
+import (
+	"fmt"
+
+	"opgate/internal/prog"
+)
+
+// This file is the trace rehydration path: a packed trace that was
+// serialized (internal/store's codec streams the RecBatch columns) is
+// reassembled into a live *Trace bound to the program it was captured
+// from. Restoration validates every record against the program — a trace
+// is only ever an accelerator, so a malformed or mismatched byte stream
+// must become an error, never a panic or a silently wrong replay.
+
+// NewTraceFromRecords rebuilds a packed trace for p from whole-trace
+// record columns (typically decoded from a persistent store). All columns
+// of recs must share one length; every record is validated against p:
+// static and next indices must be in range, and the folded-in opcode,
+// width and writes-dest flag must match the program's own instruction
+// metadata, so a trace cannot be rebound to a program it was not captured
+// from. The columns are copied into chunk-sized storage, so the caller
+// keeps ownership of recs.
+func NewTraceFromRecords(p *prog.Program, recs RecBatch) (*Trace, error) {
+	n := recs.Len()
+	for _, l := range [...]int{
+		len(recs.Next), len(recs.Op), len(recs.WBytes), len(recs.Flags),
+		len(recs.Addr), len(recs.Value), len(recs.SrcA), len(recs.SrcB),
+	} {
+		if l != n {
+			return nil, fmt.Errorf("emu: restore: ragged record columns (%d vs %d)", l, n)
+		}
+	}
+	meta := metaOf(p)
+	for i := 0; i < n; i++ {
+		idx := recs.Idx[i]
+		if idx < 0 || int(idx) >= len(p.Ins) {
+			return nil, fmt.Errorf("emu: restore: record %d: static index %d outside program (%d instructions)",
+				i, idx, len(p.Ins))
+		}
+		if next := recs.Next[i]; next < 0 || int(next) >= len(p.Ins) {
+			return nil, fmt.Errorf("emu: restore: record %d: next index %d outside program", i, next)
+		}
+		m := meta[idx]
+		if recs.Op[i] != m.op || recs.WBytes[i] != m.wbytes {
+			return nil, fmt.Errorf("emu: restore: record %d: op/width %d/%d does not match program instruction %d (%d/%d)",
+				i, recs.Op[i], recs.WBytes[i], idx, m.op, m.wbytes)
+		}
+		if fl := recs.Flags[i]; fl&^(RecTaken|RecWritesDest) != 0 || fl&RecWritesDest != m.flags {
+			return nil, fmt.Errorf("emu: restore: record %d: flags %#x inconsistent with program instruction %d",
+				i, fl, idx)
+		}
+	}
+
+	// Repack into full-capacity chunks, mirroring TraceRecorder's storage
+	// (and its byte accounting) so a restored trace is indistinguishable
+	// from a freshly captured one.
+	t := &Trace{p: p, events: int64(n)}
+	for off := 0; off < n; off += TraceChunkEvents {
+		end := off + TraceChunkEvents
+		if end > n {
+			end = n
+		}
+		chunk := newRecBatch(TraceChunkEvents)
+		src := recs.slice(off, end)
+		copy(chunk.Idx, src.Idx)
+		copy(chunk.Next, src.Next)
+		copy(chunk.Op, src.Op)
+		copy(chunk.WBytes, src.WBytes)
+		copy(chunk.Flags, src.Flags)
+		copy(chunk.Addr, src.Addr)
+		copy(chunk.Value, src.Value)
+		copy(chunk.SrcA, src.SrcA)
+		copy(chunk.SrcB, src.SrcB)
+		t.chunks = append(t.chunks, chunk.slice(0, end-off))
+		t.bytes += TraceChunkEvents * recBytes
+	}
+	return t, nil
+}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"opgate/internal/store"
+)
+
+// storeSuite builds a quick suite (with one synthetic rider so generated
+// workloads cross the persistence boundary too) bound to a store at dir.
+func storeSuite(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func runAllWithStore(t *testing.T, st *store.Store) (*Suite, []byte) {
+	t.Helper()
+	s := NewSuite(true)
+	s.Synthetics = []string{"syn:narrow/small/1"}
+	s.Store = st
+	var buf bytes.Buffer
+	if err := s.RunAll(&buf, 50); err != nil {
+		t.Fatal(err)
+	}
+	return s, buf.Bytes()
+}
+
+// TestStoreWarmRunIsEmulationFree is the persistence tentpole: a second
+// process (modeled by a fresh Suite over the same store root) regenerates
+// every table and figure byte-identically while performing zero functional
+// emulations — every trace is served from disk.
+func TestStoreWarmRunIsEmulationFree(t *testing.T) {
+	dir := t.TempDir()
+
+	cold, coldOut := runAllWithStore(t, storeSuite(t, dir))
+	if cold.Emulations() == 0 {
+		t.Fatal("cold run performed no emulations — probe broken?")
+	}
+	coldStats := cold.Store.Stats()
+	if coldStats.Hits != 0 || coldStats.Puts == 0 {
+		t.Fatalf("cold run store traffic unexpected: %+v", coldStats)
+	}
+
+	warmStore := storeSuite(t, dir) // fresh handle: clean stats
+	warm, warmOut := runAllWithStore(t, warmStore)
+	if n := warm.Emulations(); n != 0 {
+		t.Fatalf("warm run performed %d emulations, want 0", n)
+	}
+	st := warmStore.Stats()
+	if st.Misses != 0 || st.Hits == 0 || st.Puts != 0 {
+		t.Fatalf("warm run store traffic unexpected (want all hits): %+v", st)
+	}
+	if !bytes.Equal(coldOut, warmOut) {
+		t.Fatal("warm-store reports are not byte-identical to the cold run")
+	}
+}
+
+// TestStoreHitHonoursTraceBudget: a stored trace larger than this suite's
+// TraceBudget must be skipped like an over-budget capture, not cached.
+func TestStoreHitHonoursTraceBudget(t *testing.T) {
+	dir := t.TempDir()
+	_, coldOut := runAllWithStore(t, storeSuite(t, dir))
+
+	warm := NewSuite(true)
+	warm.Synthetics = []string{"syn:narrow/small/1"}
+	warm.Store = storeSuite(t, dir)
+	warm.TraceBudget = 1024 // far below any suite trace
+	var buf bytes.Buffer
+	if err := warm.RunAll(&buf, 50); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Emulations() == 0 {
+		t.Fatal("tiny TraceBudget still served multi-MB traces from the store")
+	}
+	if !bytes.Equal(coldOut, buf.Bytes()) {
+		t.Fatal("budget-constrained run drifted from the cold report")
+	}
+}
+
+// TestStoreDamageFallsBackToEmulation: damaging stored objects between
+// runs must cost only re-emulation, never correctness — the reports stay
+// byte-identical.
+func TestStoreDamageFallsBackToEmulation(t *testing.T) {
+	dir := t.TempDir()
+	_, coldOut := runAllWithStore(t, storeSuite(t, dir))
+
+	// Flip a byte in every stored object.
+	objects := filepath.Join(dir, "objects")
+	entries, err := os.ReadDir(objects)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no stored objects to damage (err %v)", err)
+	}
+	for _, e := range entries {
+		path := filepath.Join(objects, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	warm, warmOut := runAllWithStore(t, storeSuite(t, dir))
+	if warm.Emulations() == 0 {
+		t.Fatal("damaged store still served traces")
+	}
+	if !bytes.Equal(coldOut, warmOut) {
+		t.Fatal("reports drifted after store damage — the store leaked into correctness")
+	}
+}

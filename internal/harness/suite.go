@@ -23,6 +23,14 @@
 // of it is an accelerator only: traces over budget fall back to live
 // emulation, and Unfused restores the pre-trace pipeline for equivalence
 // tests and benchmarks. Reports are byte-identical either way.
+//
+// With a Store attached the trace cache extends across processes: a
+// variant's trace is looked up on disk (content-addressed by workload,
+// variant, input class and the exact binary's identity hash) before
+// anything is emulated, and fresh captures are written back. A warm run
+// therefore performs zero suite-level emulations and produces
+// byte-identical reports — replay is exact, so the store can never change
+// a result, only skip recomputing it.
 package harness
 
 import (
@@ -33,6 +41,7 @@ import (
 	"opgate/internal/isa"
 	"opgate/internal/power"
 	"opgate/internal/prog"
+	"opgate/internal/store"
 	"opgate/internal/uarch"
 	"opgate/internal/vrp"
 	"opgate/internal/vrs"
@@ -67,6 +76,12 @@ type Suite struct {
 	// eight benchmarks in every experiment driver. Set it before the
 	// first driver call; names resolve through workload.ByName.
 	Synthetics []string
+
+	// Store, when non-nil, persists packed traces across processes: the
+	// trace cache consults it before emulating and writes fresh captures
+	// back, so a warm run re-emulates nothing (cmd/ogbench -store,
+	// cmd/opgated). Unfused bypasses it along with the in-memory cache.
+	Store *store.Store
 
 	// TraceBudget caps the packed-trace bytes cached per (name, variant);
 	// <= 0 means emu.DefaultTraceBudget. A variant whose trace exceeds
@@ -350,6 +365,24 @@ func (s *Suite) traceWith(name, variant string, rider func(*prog.Program) (emu.S
 		if err != nil {
 			return nil, err
 		}
+		var key store.Key
+		var identity store.Hash
+		if s.Store != nil {
+			identity = store.ProgramIdentity(p)
+			key = store.TraceKey(name, variant, s.evalClass().String(), identity)
+			if tr, ok := s.Store.GetTrace(key, p, identity); ok {
+				// Honour TraceBudget on hits too: a stored trace larger
+				// than this suite's cap is skipped, exactly as its capture
+				// would have been dropped.
+				budget := s.TraceBudget
+				if budget <= 0 {
+					budget = emu.DefaultTraceBudget
+				}
+				if tr.Bytes() <= budget {
+					return tr, nil
+				}
+			}
+		}
 		rec := emu.NewTraceRecorder(p)
 		rec.SetBudget(s.TraceBudget)
 		m := emu.New(p)
@@ -368,6 +401,11 @@ func (s *Suite) traceWith(name, variant string, rider func(*prog.Program) (emu.S
 		tr, err := rec.Trace()
 		if err != nil {
 			return nil, nil // over budget: remember the miss
+		}
+		if s.Store != nil {
+			// Best-effort write-back: a full disk or unwritable root must
+			// not fail the run (the store tallies PutErrors).
+			_ = s.Store.PutTrace(key, tr, identity)
 		}
 		return tr, nil
 	})

@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"opgate/internal/progen"
+	"opgate/internal/workload"
+)
+
+// ExpandSynthetics expands a synthetic-workload spec — "all" (the curated
+// set), a comma-separated family list, or exact "syn:family/class/seed"
+// names — into validated, deduplicated registry names for Suite.Synthetics.
+// cmd/ogbench's -synthetic flag and opgated's experiment requests share
+// this expansion, so a spec means the same workload set everywhere.
+//
+// seedClassSet flags an explicitly supplied seed/class, which only
+// family-list specs consume; silently dropping them would run workloads
+// the caller did not ask for, so that combination is rejected instead.
+func ExpandSynthetics(spec string, seed uint64, class string, seedClassSet bool) ([]string, error) {
+	if spec == "" {
+		if seedClassSet {
+			return nil, fmt.Errorf("seed/class require a synthetic family list")
+		}
+		return nil, nil
+	}
+	var names []string
+	usedSeedClass := false
+	if spec == "all" {
+		for _, w := range workload.CuratedSynthetics() {
+			names = append(names, w.Name)
+		}
+	} else {
+		c, err := progen.ParseClass(class)
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range strings.Split(spec, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			if workload.IsSynthetic(part) {
+				names = append(names, part)
+				continue
+			}
+			f, err := progen.ParseFamily(part)
+			if err != nil {
+				return nil, fmt.Errorf("synthetic spec: %w", err)
+			}
+			usedSeedClass = true
+			names = append(names, workload.SyntheticName(f, seed, c))
+		}
+	}
+	if seedClassSet && !usedSeedClass {
+		return nil, fmt.Errorf("seed/class only apply to synthetic family lists, not %q", spec)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("synthetic spec %q expands to no workloads", spec)
+	}
+	// Dedupe: a family entry and an exact syn: name can expand to the same
+	// workload, which would double-weight it in suite averages.
+	seen := make(map[string]bool, len(names))
+	uniq := names[:0]
+	for _, name := range names {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if _, err := workload.ByName(name); err != nil {
+			return nil, err
+		}
+		uniq = append(uniq, name)
+	}
+	return uniq, nil
+}

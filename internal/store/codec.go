@@ -1,0 +1,159 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"math"
+
+	"opgate/internal/emu"
+	"opgate/internal/prog"
+)
+
+// The trace codec, wire format version 1. A packed trace's struct-of-arrays
+// columns serialize almost directly: the file is a fixed header, the nine
+// record columns stored whole-trace contiguously (little-endian), and a
+// CRC-64 trailer.
+//
+//	offset   size  field
+//	0        4     magic "OGTR"
+//	4        2     format version (1)
+//	6        2     reserved (0)
+//	8        32    program identity (ProgramIdentity of the traced binary)
+//	40       8     event count n
+//	48       4n    Idx    int32   static instruction index
+//	48+4n    4n    Next   int32   next instruction executed
+//	48+8n    n     Op     uint8
+//	48+9n    n     WBytes uint8
+//	48+10n   n     Flags  uint8
+//	48+11n   8n    Addr   int64
+//	48+19n   8n    Value  int64
+//	48+27n   8n    SrcA   int64
+//	48+35n   8n    SrcB   int64
+//	end-8    8     CRC-64/ECMA of every preceding byte
+//
+// The encoding is canonical — no padding, no trailing slack — so
+// re-encoding a decoded trace reproduces the input bit-for-bit (the fuzz
+// target leans on that). Decode refuses anything it cannot vouch for:
+// wrong magic or version, identity mismatch, truncation, trailing bytes,
+// checksum failure, and records that do not validate against the program.
+const (
+	codecMagic   = "OGTR"
+	codecVersion = 1
+
+	codecHeaderSize  = 4 + 2 + 2 + 32 + 8
+	codecTrailerSize = 8
+
+	// codecRecBytes is the wire footprint of one record: the nine columns
+	// above (2×4 + 3×1 + 4×8).
+	codecRecBytes = 43
+)
+
+// crcTable is the CRC-64/ECMA table the trailer uses.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// EncodeTrace serializes a packed trace captured from a binary with the
+// given identity.
+func EncodeTrace(t *emu.Trace, identity Hash) []byte {
+	n := int(t.Len())
+	buf := make([]byte, codecHeaderSize+n*codecRecBytes+codecTrailerSize)
+	copy(buf, codecMagic)
+	binary.LittleEndian.PutUint16(buf[4:], codecVersion)
+	copy(buf[8:], identity[:])
+	binary.LittleEndian.PutUint64(buf[40:], uint64(n))
+
+	cols := colOffsets(n)
+	pos := 0
+	t.Records(emu.RecFunc(func(b emu.RecBatch) {
+		for i := 0; i < b.Len(); i++ {
+			binary.LittleEndian.PutUint32(buf[cols.idx+4*(pos+i):], uint32(b.Idx[i]))
+			binary.LittleEndian.PutUint32(buf[cols.next+4*(pos+i):], uint32(b.Next[i]))
+			buf[cols.op+pos+i] = b.Op[i]
+			buf[cols.wbytes+pos+i] = b.WBytes[i]
+			buf[cols.flags+pos+i] = b.Flags[i]
+			binary.LittleEndian.PutUint64(buf[cols.addr+8*(pos+i):], uint64(b.Addr[i]))
+			binary.LittleEndian.PutUint64(buf[cols.value+8*(pos+i):], uint64(b.Value[i]))
+			binary.LittleEndian.PutUint64(buf[cols.srcA+8*(pos+i):], uint64(b.SrcA[i]))
+			binary.LittleEndian.PutUint64(buf[cols.srcB+8*(pos+i):], uint64(b.SrcB[i]))
+		}
+		pos += b.Len()
+	}))
+
+	crc := crc64.Checksum(buf[:len(buf)-codecTrailerSize], crcTable)
+	binary.LittleEndian.PutUint64(buf[len(buf)-codecTrailerSize:], crc)
+	return buf
+}
+
+// DecodeTrace deserializes a trace and binds it to p, refusing any input
+// whose header, identity, length, checksum, or records do not check out.
+// It never panics on malformed input.
+func DecodeTrace(data []byte, p *prog.Program, identity Hash) (*emu.Trace, error) {
+	if len(data) < codecHeaderSize+codecTrailerSize {
+		return nil, fmt.Errorf("store: trace blob truncated (%d bytes)", len(data))
+	}
+	if string(data[:4]) != codecMagic {
+		return nil, fmt.Errorf("store: bad trace magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != codecVersion {
+		return nil, fmt.Errorf("store: unsupported trace format version %d (want %d)", v, codecVersion)
+	}
+	if data[6] != 0 || data[7] != 0 {
+		// Encoding is canonical: accepting nonzero reserved bytes would
+		// admit blobs that do not re-encode bit-identically.
+		return nil, fmt.Errorf("store: nonzero reserved header bytes %x", data[6:8])
+	}
+	if !bytes.Equal(data[8:40], identity[:]) {
+		return nil, fmt.Errorf("store: trace identity mismatch (stored %x…, want %x…)", data[8:12], identity[:4])
+	}
+	events := binary.LittleEndian.Uint64(data[40:])
+	if events > math.MaxInt64/codecRecBytes {
+		return nil, fmt.Errorf("store: absurd trace event count %d", events)
+	}
+	want := uint64(codecHeaderSize) + events*codecRecBytes + codecTrailerSize
+	if uint64(len(data)) != want {
+		return nil, fmt.Errorf("store: trace blob is %d bytes, want %d for %d events", len(data), want, events)
+	}
+	crcOff := len(data) - codecTrailerSize
+	if got, stored := crc64.Checksum(data[:crcOff], crcTable), binary.LittleEndian.Uint64(data[crcOff:]); got != stored {
+		return nil, fmt.Errorf("store: trace checksum mismatch (%#x != %#x)", got, stored)
+	}
+
+	n := int(events)
+	cols := colOffsets(n)
+	recs := emu.RecBatch{
+		Idx: make([]int32, n), Next: make([]int32, n),
+		Op: data[cols.op : cols.op+n], WBytes: data[cols.wbytes : cols.wbytes+n],
+		Flags: data[cols.flags : cols.flags+n],
+		Addr:  make([]int64, n), Value: make([]int64, n),
+		SrcA: make([]int64, n), SrcB: make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		recs.Idx[i] = int32(binary.LittleEndian.Uint32(data[cols.idx+4*i:]))
+		recs.Next[i] = int32(binary.LittleEndian.Uint32(data[cols.next+4*i:]))
+		recs.Addr[i] = int64(binary.LittleEndian.Uint64(data[cols.addr+8*i:]))
+		recs.Value[i] = int64(binary.LittleEndian.Uint64(data[cols.value+8*i:]))
+		recs.SrcA[i] = int64(binary.LittleEndian.Uint64(data[cols.srcA+8*i:]))
+		recs.SrcB[i] = int64(binary.LittleEndian.Uint64(data[cols.srcB+8*i:]))
+	}
+	tr, err := emu.NewTraceFromRecords(p, recs)
+	if err != nil {
+		return nil, fmt.Errorf("store: trace does not validate against program: %w", err)
+	}
+	return tr, nil
+}
+
+// colOffsets returns the file offsets of the nine record columns for an
+// n-event trace.
+func colOffsets(n int) (c struct{ idx, next, op, wbytes, flags, addr, value, srcA, srcB int }) {
+	c.idx = codecHeaderSize
+	c.next = c.idx + 4*n
+	c.op = c.next + 4*n
+	c.wbytes = c.op + n
+	c.flags = c.wbytes + n
+	c.addr = c.flags + n
+	c.value = c.addr + 8*n
+	c.srcA = c.value + 8*n
+	c.srcB = c.srcA + 8*n
+	return c
+}

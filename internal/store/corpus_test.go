@@ -1,0 +1,39 @@
+package store
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var regenCorpus = flag.Bool("regen-corpus", false, "rewrite the committed FuzzTraceCodec seed corpus")
+
+// TestFuzzCorpusSeeds pins the committed fuzz corpus to fuzzCorpusSeeds:
+// plain `go test` replays the committed files through FuzzTraceCodec, and
+// this test guarantees they stay in sync with the codec (rewrite with
+// -regen-corpus after a deliberate wire-format change).
+func TestFuzzCorpusSeeds(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzTraceCodec")
+	for i, e := range fuzzCorpusSeeds() {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", e)
+		if *regenCorpus {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("missing corpus entry (regenerate with -regen-corpus): %v", err)
+		}
+		if string(got) != content {
+			t.Errorf("%s is stale (regenerate with -regen-corpus)", name)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opgate/internal/emu"
+	"opgate/internal/prog"
+)
+
+// ParseSize parses a byte-size budget for -store-limit style flags: a
+// plain integer, or an integer with a k/M/G/T binary-unit suffix (an
+// optional iB/B tail is accepted, so 2G, 2GiB and 2147483648 agree).
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	lower := strings.ToLower(t)
+	shift := 0
+	for i, unit := range []string{"k", "m", "g", "t"} {
+		for _, tail := range []string{unit + "ib", unit + "b", unit} {
+			if strings.HasSuffix(lower, tail) {
+				t = t[:len(t)-len(tail)]
+				shift = 10 * (i + 1)
+				break
+			}
+		}
+		if shift != 0 {
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("store: bad size %q", s)
+	}
+	if n < 0 || n > (1<<62)>>shift {
+		return 0, fmt.Errorf("store: size %q out of range", s)
+	}
+	return n << shift, nil
+}
+
+// Store is a content-addressed artifact cache rooted at a directory. All
+// methods are safe for concurrent use; the root may also be shared between
+// processes (writes are atomic renames, so readers never see a partial
+// object — the LRU budget is then enforced independently by each writer).
+type Store struct {
+	root  string
+	limit int64 // byte budget; <= 0 means unlimited
+
+	mu   sync.Mutex // serializes writes and the eviction sweep
+	size int64      // cached resident bytes (tracked only when limit > 0)
+
+	hits, misses, puts, putErrors, evictions atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of store traffic.
+type Stats struct {
+	Hits      int64 // Get found the object
+	Misses    int64 // Get found nothing usable (absent, corrupt, mismatched)
+	Puts      int64 // objects written
+	PutErrors int64 // writes that failed (the pipeline continues uncached)
+	Evictions int64 // objects removed by the LRU sweep
+}
+
+// Open creates (if needed) and opens a store rooted at dir with the given
+// byte budget (limit <= 0 disables eviction).
+func Open(dir string, limit int64) (*Store, error) {
+	for _, sub := range []string{"objects", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	s := &Store{root: dir, limit: limit}
+	s.sweepStaleTemps()
+	if limit > 0 {
+		// Seed the resident-size tracker so Put only pays a directory
+		// sweep when the budget is actually exceeded. Other processes
+		// sharing the root can drift this number; the eviction sweep
+		// recomputes it exactly.
+		s.size, _ = s.Size()
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// staleTempAge is how old an orphaned staging file must be before Open
+// reclaims it; younger ones may belong to another live process sharing
+// the root mid-Put.
+const staleTempAge = time.Hour
+
+// sweepStaleTemps reclaims staging files left by crashed writers — they
+// live outside objects/, so neither the size tracker nor the LRU sweep
+// would ever account for them.
+func (s *Store) sweepStaleTemps() {
+	dir := filepath.Join(s.root, "tmp")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-staleTempAge)
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && info.ModTime().Before(cutoff) {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		PutErrors: s.putErrors.Load(),
+		Evictions: s.evictions.Load(),
+	}
+}
+
+// objectPath maps a key to its file. Keys are validated hex (ParseKey) or
+// derived in-process, so the join cannot escape the objects directory.
+func (s *Store) objectPath(key Key) string {
+	return filepath.Join(s.root, "objects", string(key))
+}
+
+// Get returns the object stored under key, touching its recency. A missing
+// object is (nil, false); read errors count as misses — the store
+// accelerates the pipeline and must never fail it.
+func (s *Store) Get(key Key) ([]byte, bool) {
+	path := s.objectPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	now := time.Now()
+	_ = os.Chtimes(path, now, now) // LRU touch; best-effort
+	s.hits.Add(1)
+	return data, true
+}
+
+// Put stores data under key via a temp file and an atomic rename, then
+// sweeps the store back under its byte budget.
+func (s *Store) Put(key Key, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var replaced int64
+	if s.limit > 0 {
+		if info, err := os.Stat(s.objectPath(key)); err == nil {
+			replaced = info.Size()
+		}
+	}
+	f, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "put-*")
+	if err != nil {
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, s.objectPath(key))
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: put %s: %w", key, werr)
+	}
+	s.puts.Add(1)
+	if s.limit > 0 {
+		s.size += int64(len(data)) - replaced
+		if s.size > s.limit {
+			s.evictLocked(key)
+		}
+	}
+	return nil
+}
+
+// Delete removes the object stored under key, if any.
+func (s *Store) Delete(key Key) {
+	_ = os.Remove(s.objectPath(key))
+}
+
+// Size returns the total bytes resident in the objects directory.
+func (s *Store) Size() (int64, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "objects"))
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total, nil
+}
+
+// evictLocked removes least-recently-used objects until the store fits its
+// budget again, re-deriving the exact resident size from the directory
+// (the running total is only a trigger — it can drift when several
+// processes share the root). The object just written (keep) survives the
+// sweep even when it alone exceeds the budget: evicting the artifact the
+// caller is about to rely on would make the budget self-defeating.
+func (s *Store) evictLocked(keep Key) {
+	dir := filepath.Join(s.root, "objects")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	type obj struct {
+		name  string
+		size  int64
+		mtime time.Time
+	}
+	var objs []obj
+	var total int64
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		objs = append(objs, obj{e.Name(), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].mtime.Before(objs[j].mtime) })
+	for _, o := range objs {
+		if total <= s.limit {
+			break
+		}
+		if o.name == string(keep) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, o.name)) == nil {
+			total -= o.size
+			s.evictions.Add(1)
+		}
+	}
+	s.size = total
+}
+
+// GetTrace returns the packed trace stored under key, decoded and bound to
+// p. Any defect — absent, truncated, corrupted, wrong identity, records
+// that do not validate against p — is a miss: the unusable object is
+// dropped and the caller re-emulates.
+func (s *Store) GetTrace(key Key, p *prog.Program, identity Hash) (*emu.Trace, bool) {
+	data, ok := s.Get(key)
+	if !ok {
+		return nil, false
+	}
+	tr, err := DecodeTrace(data, p, identity)
+	if err != nil {
+		s.Delete(key)
+		s.hits.Add(-1) // reclassify: the object was not usable
+		s.misses.Add(1)
+		return nil, false
+	}
+	return tr, true
+}
+
+// PutTrace serializes and stores a trace captured from a binary with the
+// given identity.
+func (s *Store) PutTrace(key Key, t *emu.Trace, identity Hash) error {
+	return s.Put(key, EncodeTrace(t, identity))
+}

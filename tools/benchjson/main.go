@@ -5,13 +5,24 @@
 // Usage:
 //
 //	go test -run '^$' -bench ... . | go run ./tools/benchjson > BENCH_sim.json
+//
+// With -compare it doubles as a regression gate: the fresh document is
+// still written to stdout, but each MIPS-bearing benchmark is also checked
+// against the baseline document, and the process exits nonzero when any
+// throughput fell more than -tolerance below its committed value:
+//
+//	go test -bench ... . | go run ./tools/benchjson \
+//	    -compare BENCH_sim.json -tolerance 0.25 > fresh.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -34,8 +45,44 @@ type Document struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "baseline JSON document to gate MIPS throughput against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional MIPS regression vs the baseline")
+	flag.Parse()
+
+	doc, err := parseBenchOutput(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *compare == "" {
+		return
+	}
+	baseline, err := loadDocument(*compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	lines, failed := compareMIPS(baseline, doc, *tolerance)
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, "benchjson:", l)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: MIPS regression beyond %.0f%% tolerance vs %s\n",
+			*tolerance*100, *compare)
+		os.Exit(1)
+	}
+}
+
+// parseBenchOutput converts a `go test -bench` transcript into a Document.
+func parseBenchOutput(r io.Reader) (Document, error) {
 	doc := Document{Benchmarks: []Benchmark{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -54,16 +101,77 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return doc, sc.Err()
+}
+
+// loadDocument reads a previously emitted JSON trajectory.
+func loadDocument(path string) (Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Document{}, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Document{}, fmt.Errorf("%s: %w", path, err)
 	}
+	return doc, nil
+}
+
+// compareMIPS gates the fresh document against a baseline: every benchmark
+// that reports a MIPS metric in both documents must stay within the
+// fractional tolerance of its baseline throughput. A benchmark appearing
+// several times on a side (go test -count=N) is represented by its best
+// run — scheduler noise only ever subtracts throughput, so a genuine
+// regression slows every sample while a noisy one leaves the best intact.
+// Higher is better, so only drops count; benchmarks present on one side
+// only are reported but never fail the gate (renames and removals are
+// deliberate acts, caught by the diff of BENCH_sim.json itself). Returns
+// human-readable verdict lines and whether the gate failed.
+func compareMIPS(baseline, fresh Document, tolerance float64) (lines []string, failed bool) {
+	freshMIPS := bestMIPS(fresh)
+	baseMIPS := bestMIPS(baseline)
+	seen := map[string]bool{}
+	for _, b := range baseline.Benchmarks {
+		old, ok := baseMIPS[b.Name]
+		if !ok || old <= 0 || seen[b.Name] {
+			continue
+		}
+		seen[b.Name] = true
+		now, ok := freshMIPS[b.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("skip %s: no MIPS in fresh run (removed or renamed?)", b.Name))
+			continue
+		}
+		delete(freshMIPS, b.Name)
+		change := now/old - 1
+		verdict := "ok  "
+		if change < -tolerance {
+			verdict = "FAIL"
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("%s %s: %.1f MIPS vs baseline %.1f (%+.1f%%)",
+			verdict, b.Name, now, old, change*100))
+	}
+	newNames := make([]string, 0, len(freshMIPS))
+	for name := range freshMIPS {
+		newNames = append(newNames, name)
+	}
+	sort.Strings(newNames)
+	for _, name := range newNames {
+		lines = append(lines, fmt.Sprintf("note %s: new benchmark, no baseline", name))
+	}
+	return lines, failed
+}
+
+// bestMIPS maps each benchmark name to its best (highest) MIPS sample.
+func bestMIPS(doc Document) map[string]float64 {
+	best := map[string]float64{}
+	for _, b := range doc.Benchmarks {
+		if v, ok := b.Metrics["MIPS"]; ok && v > best[b.Name] {
+			best[b.Name] = v
+		}
+	}
+	return best
 }
 
 // parseBench parses one result line: name, iteration count, then

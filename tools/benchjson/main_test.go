@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: opgate
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEmuMIPS/raw-4         	       3	    163945 ns/op	       156.8 MIPS
+BenchmarkEmuMIPS/batch-4       	       3	    219290 ns/op	       117.1 MIPS
+BenchmarkFigure3Matrix/fused-4 	       3	 197571446 ns/op
+PASS
+ok  	opgate	2.791s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	doc, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Package != "opgate" {
+		t.Fatalf("header drifted: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	raw := doc.Benchmarks[0]
+	if raw.Name != "BenchmarkEmuMIPS/raw-4" || raw.Iters != 3 || raw.NsPerOp != 163945 {
+		t.Fatalf("first benchmark drifted: %+v", raw)
+	}
+	if raw.Metrics["MIPS"] != 156.8 {
+		t.Fatalf("MIPS metric not parsed: %+v", raw.Metrics)
+	}
+	if doc.Benchmarks[2].Metrics != nil {
+		t.Fatalf("metric-free benchmark grew metrics: %+v", doc.Benchmarks[2])
+	}
+}
+
+// bench builds a single-benchmark document carrying one MIPS value.
+func bench(name string, mips float64) Benchmark {
+	return Benchmark{Name: name, Iters: 1, Metrics: map[string]float64{"MIPS": mips}}
+}
+
+func TestCompareMIPS(t *testing.T) {
+	baseline := Document{Benchmarks: []Benchmark{
+		bench("A", 100),
+		bench("B", 100),
+		bench("Gone", 50),
+		{Name: "NoMetric", Iters: 1, NsPerOp: 5},
+	}}
+
+	t.Run("within-tolerance", func(t *testing.T) {
+		fresh := Document{Benchmarks: []Benchmark{bench("A", 80), bench("B", 120), bench("New", 10)}}
+		lines, failed := compareMIPS(baseline, fresh, 0.25)
+		if failed {
+			t.Fatalf("gate failed on a -20%% drop with 25%% tolerance:\n%s", strings.Join(lines, "\n"))
+		}
+		joined := strings.Join(lines, "\n")
+		for _, want := range []string{"ok   A:", "ok   B:", "skip Gone:", "note New:"} {
+			if !strings.Contains(joined, want) {
+				t.Fatalf("verdicts missing %q:\n%s", want, joined)
+			}
+		}
+	})
+
+	t.Run("regression-fails", func(t *testing.T) {
+		fresh := Document{Benchmarks: []Benchmark{bench("A", 74), bench("B", 100)}}
+		lines, failed := compareMIPS(baseline, fresh, 0.25)
+		if !failed {
+			t.Fatalf("gate passed a -26%% regression:\n%s", strings.Join(lines, "\n"))
+		}
+		if !strings.Contains(strings.Join(lines, "\n"), "FAIL A:") {
+			t.Fatalf("regressed benchmark not named:\n%s", strings.Join(lines, "\n"))
+		}
+	})
+
+	t.Run("missing-benchmark-does-not-fail", func(t *testing.T) {
+		fresh := Document{Benchmarks: []Benchmark{bench("A", 100), bench("B", 100)}}
+		if _, failed := compareMIPS(baseline, fresh, 0.25); failed {
+			t.Fatal("gate failed on a benchmark absent from the fresh run")
+		}
+	})
+
+	t.Run("best-of-count-runs", func(t *testing.T) {
+		// Three samples of A (go test -count=3): one healthy sample means
+		// no regression, however noisy the others are.
+		fresh := Document{Benchmarks: []Benchmark{bench("A", 40), bench("A", 99), bench("A", 60), bench("B", 100)}}
+		if lines, failed := compareMIPS(baseline, fresh, 0.25); failed {
+			t.Fatalf("gate failed despite a healthy best sample:\n%s", strings.Join(lines, "\n"))
+		}
+		// And when every sample regressed, the gate fires exactly once.
+		fresh = Document{Benchmarks: []Benchmark{bench("A", 40), bench("A", 50), bench("B", 100)}}
+		lines, failed := compareMIPS(baseline, fresh, 0.25)
+		if !failed {
+			t.Fatalf("gate passed a uniform regression:\n%s", strings.Join(lines, "\n"))
+		}
+		if n := strings.Count(strings.Join(lines, "\n"), "FAIL A:"); n != 1 {
+			t.Fatalf("regressed benchmark reported %d times, want once:\n%s", n, strings.Join(lines, "\n"))
+		}
+	})
+}
