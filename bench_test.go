@@ -9,6 +9,7 @@ package opgate
 // benchmark log.
 
 import (
+	"context"
 	"testing"
 
 	"opgate/internal/emu"
@@ -25,6 +26,9 @@ import (
 // incremental after the first run.
 var benchSuite = harness.NewSuite(true)
 
+// benchCtx: benchmarks never cancel mid-run.
+var benchCtx = context.Background()
+
 func BenchmarkTable1ALUEnergy(b *testing.B) {
 	var v float64
 	for i := 0; i < b.N; i++ {
@@ -36,7 +40,7 @@ func BenchmarkTable1ALUEnergy(b *testing.B) {
 
 func BenchmarkTable3OpDistribution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Table3()
+		rep, err := benchSuite.Table3(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -46,7 +50,7 @@ func BenchmarkTable3OpDistribution(b *testing.B) {
 
 func BenchmarkFigure2WidthHistogram(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure2()
+		rep, err := benchSuite.Figure2(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +60,7 @@ func BenchmarkFigure2WidthHistogram(b *testing.B) {
 
 func BenchmarkFigure3VRPEnergy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure3()
+		rep, err := benchSuite.Figure3(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -66,7 +70,7 @@ func BenchmarkFigure3VRPEnergy(b *testing.B) {
 
 func BenchmarkFigure4ProfiledPoints(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure4(50)
+		rep, err := benchSuite.Figure4(benchCtx, 50)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +80,7 @@ func BenchmarkFigure4ProfiledPoints(b *testing.B) {
 
 func BenchmarkFigure5StaticSpecialization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure5(50)
+		rep, err := benchSuite.Figure5(benchCtx, 50)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +90,7 @@ func BenchmarkFigure5StaticSpecialization(b *testing.B) {
 
 func BenchmarkFigure6RuntimeSpecialization(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure6(50)
+		rep, err := benchSuite.Figure6(benchCtx, 50)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +100,7 @@ func BenchmarkFigure6RuntimeSpecialization(b *testing.B) {
 
 func BenchmarkFigure7WidthByMechanism(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure7(50)
+		rep, err := benchSuite.Figure7(benchCtx, 50)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,7 +110,7 @@ func BenchmarkFigure7WidthByMechanism(b *testing.B) {
 
 func BenchmarkFigure8EnergySavings(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure8()
+		rep, err := benchSuite.Figure8(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +120,7 @@ func BenchmarkFigure8EnergySavings(b *testing.B) {
 
 func BenchmarkFigure9PerStructure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure9()
+		rep, err := benchSuite.Figure9(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +130,7 @@ func BenchmarkFigure9PerStructure(b *testing.B) {
 
 func BenchmarkFigure10ExecTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure10()
+		rep, err := benchSuite.Figure10(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +140,7 @@ func BenchmarkFigure10ExecTime(b *testing.B) {
 
 func BenchmarkFigure11EnergyDelay2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure11()
+		rep, err := benchSuite.Figure11(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +150,7 @@ func BenchmarkFigure11EnergyDelay2(b *testing.B) {
 
 func BenchmarkFigure12DataSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure12()
+		rep, err := benchSuite.Figure12(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +160,7 @@ func BenchmarkFigure12DataSize(b *testing.B) {
 
 func BenchmarkFigure13Hardware(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure13()
+		rep, err := benchSuite.Figure13(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -166,7 +170,7 @@ func BenchmarkFigure13Hardware(b *testing.B) {
 
 func BenchmarkFigure14HardwarePerStructure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure14()
+		rep, err := benchSuite.Figure14(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +180,7 @@ func BenchmarkFigure14HardwarePerStructure(b *testing.B) {
 
 func BenchmarkFigure15Combined(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.Figure15(50)
+		rep, err := benchSuite.Figure15(benchCtx, 50)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -186,7 +190,7 @@ func BenchmarkFigure15Combined(b *testing.B) {
 
 func BenchmarkAblationOpcodeSets(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.AblationOpcodeSets()
+		rep, err := benchSuite.AblationOpcodeSets(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -196,7 +200,7 @@ func BenchmarkAblationOpcodeSets(b *testing.B) {
 
 func BenchmarkAblationAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := benchSuite.AblationAnalysis()
+		rep, err := benchSuite.AblationAnalysis(benchCtx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -349,7 +353,7 @@ func benchFigureMatrix(b *testing.B, run func(s *harness.Suite) error) {
 // free — BenchmarkFigureFamilyMatrix shows that payoff.
 func BenchmarkFigure3Matrix(b *testing.B) {
 	benchFigureMatrix(b, func(s *harness.Suite) error {
-		_, err := s.Figure3()
+		_, err := s.Figure3(benchCtx)
 		return err
 	})
 }
@@ -362,25 +366,25 @@ func BenchmarkFigure3Matrix(b *testing.B) {
 // timed once for its entire mode family.
 func BenchmarkFigureFamilyMatrix(b *testing.B) {
 	benchFigureMatrix(b, func(s *harness.Suite) error {
-		if _, err := s.Figure2(); err != nil {
+		if _, err := s.Figure2(benchCtx); err != nil {
 			return err
 		}
-		if _, err := s.Figure3(); err != nil {
+		if _, err := s.Figure3(benchCtx); err != nil {
 			return err
 		}
-		if _, err := s.Figure7(50); err != nil {
+		if _, err := s.Figure7(benchCtx, 50); err != nil {
 			return err
 		}
-		if _, err := s.Figure8(); err != nil {
+		if _, err := s.Figure8(benchCtx); err != nil {
 			return err
 		}
-		if _, err := s.Figure13(); err != nil {
+		if _, err := s.Figure13(benchCtx); err != nil {
 			return err
 		}
-		if _, err := s.Figure14(); err != nil {
+		if _, err := s.Figure14(benchCtx); err != nil {
 			return err
 		}
-		_, err := s.Figure15(50)
+		_, err := s.Figure15(benchCtx, 50)
 		return err
 	})
 }
@@ -398,7 +402,7 @@ func BenchmarkSuiteParallel(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := harness.NewSuite(true)
 				s.Workers = cfg.workers
-				if _, err := s.Figure3(); err != nil {
+				if _, err := s.Figure3(benchCtx); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -5,6 +5,7 @@
 //	ogbench -experiment all            # everything (the default)
 //	ogbench -experiment fig8           # one experiment
 //	ogbench -quick                     # evaluate on train inputs (faster)
+//	ogbench -quick -format json        # canonical machine-readable reports
 //
 // The workload space can be widened beyond the eight kernels with
 // seed-driven synthetic programs (internal/progen):
@@ -19,21 +20,32 @@
 // byte-identical reports; -store-limit bounds the store's size (LRU).
 // A per-run summary ("ogbench: emulations=… store: hits=…") goes to
 // stderr, leaving stdout exactly the reports.
+//
+// -format selects the renderer: "text" (default) is the classic aligned
+// layout; "json" emits the canonical structured encoding (schema
+// opgate.reports/v1) for machine consumers — both render the same
+// structured reports from the same session. Interrupting a run (SIGINT/
+// SIGTERM) cancels the per-workload fan-out instead of waiting for the
+// full suite.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"opgate/internal/harness"
-	"opgate/internal/store"
+	"opgate"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "table1|table2|table3|fig2..fig15|ablation-opcodes|ablation-analysis|all")
 	quick := flag.Bool("quick", false, "evaluate on train inputs (faster)")
-	threshold := flag.Float64("threshold", 50, "VRS specialization threshold (nJ)")
+	threshold := flag.Float64("threshold", opgate.DefaultThreshold, "VRS specialization threshold (nJ)")
+	format := flag.String("format", "text", "report renderer: text|json")
 	synthetic := flag.String("synthetic", "", `synthetic workloads: "all" (curated set), a comma-separated family list, or exact syn:family/class/seed names`)
 	seed := flag.Uint64("seed", 1, "generator seed for -synthetic family lists")
 	class := flag.String("class", "small", "generator size class for -synthetic family lists (small|medium|large)")
@@ -44,43 +56,72 @@ func main() {
 	explicit := map[string]bool{}
 	flag.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
 
-	s := harness.NewSuite(*quick)
-	names, err := harness.ExpandSynthetics(*synthetic, *seed, *class, explicit["seed"] || explicit["class"])
+	var renderer opgate.Renderer
+	switch *format {
+	case "text":
+		renderer = opgate.TextRenderer{}
+	case "json":
+		renderer = opgate.JSONRenderer{}
+	default:
+		fmt.Fprintf(os.Stderr, "ogbench: -format %q: want text or json\n", *format)
+		os.Exit(2)
+	}
+
+	names, err := opgate.ExpandSynthetics(*synthetic, *seed, *class, explicit["seed"] || explicit["class"])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ogbench: -synthetic:", err)
 		os.Exit(2)
 	}
-	s.Synthetics = names
+	opts := []opgate.Option{
+		opgate.WithQuick(*quick),
+		opgate.WithThreshold(*threshold),
+		opgate.WithSynthetics(names...),
+	}
 	if *storeDir != "" {
-		limit, err := store.ParseSize(*storeLimit)
+		limit, err := opgate.ParseSize(*storeLimit)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ogbench: -store-limit:", err)
 			os.Exit(2)
 		}
-		st, err := store.Open(*storeDir, limit)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ogbench:", err)
-			os.Exit(2)
-		}
-		s.Store = st
+		opts = append(opts, opgate.WithStoreDir(*storeDir, limit))
 	} else if explicit["store-limit"] {
 		fmt.Fprintln(os.Stderr, "ogbench: -store-limit requires -store")
 		os.Exit(2)
 	}
+	sess, err := opgate.NewSession(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ogbench:", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	run := func() error {
+		var reports []*opgate.Report
 		if *experiment == "all" {
-			return s.RunAll(os.Stdout, *threshold)
+			reports, err = sess.RunAll(ctx)
+		} else {
+			var r *opgate.Report
+			r, err = sess.Run(ctx, *experiment)
+			reports = []*opgate.Report{r}
 		}
-		return s.RunExperiment(os.Stdout, *experiment, *threshold)
+		if err != nil {
+			return err
+		}
+		return renderer.Render(os.Stdout, reports)
 	}
 	if err := run(); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ogbench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "ogbench:", err)
 		os.Exit(1)
 	}
-	if s.Store != nil {
-		st := s.Store.Stats()
+	if st, ok := sess.StoreStats(); ok {
 		fmt.Fprintf(os.Stderr,
 			"ogbench: emulations=%d store: hits=%d misses=%d puts=%d put-errors=%d evictions=%d\n",
-			s.Emulations(), st.Hits, st.Misses, st.Puts, st.PutErrors, st.Evictions)
+			sess.Emulations(), st.Hits, st.Misses, st.Puts, st.PutErrors, st.Evictions)
 	}
 }

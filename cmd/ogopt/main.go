@@ -16,7 +16,7 @@ import (
 	"os"
 	"strings"
 
-	"opgate/internal/core"
+	"opgate"
 	"opgate/internal/objfile"
 	"opgate/internal/prog"
 	"opgate/internal/workload"
@@ -47,7 +47,7 @@ func run(mode, wl string, dis bool, args []string) error {
 		if strings.HasSuffix(args[0], ".og64") {
 			p, err = objfile.ReadFile(args[0])
 		} else {
-			p, err = core.AssembleFile(args[0])
+			p, err = opgate.AssembleFile(args[0])
 		}
 	default:
 		return fmt.Errorf("need an input file or -workload")
@@ -56,14 +56,14 @@ func run(mode, wl string, dis bool, args []string) error {
 		return err
 	}
 
-	opt, err := core.Optimize(p, core.OptimizeOptions{Conventional: mode == "conventional"})
+	opt, err := opgate.Optimize(p, opgate.OptimizeOptions{Conventional: mode == "conventional"})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s VRP: %s\n", mode, opt.Summary())
 	fmt.Println("behavioural equivalence: verified")
 	if dis {
-		fmt.Print(core.Disassemble(opt.Program))
+		fmt.Print(opgate.Disassemble(opt.Program))
 	}
 	return nil
 }

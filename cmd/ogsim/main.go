@@ -14,7 +14,7 @@ import (
 	"os"
 	"strings"
 
-	"opgate/internal/core"
+	"opgate"
 	"opgate/internal/objfile"
 	"opgate/internal/power"
 	"opgate/internal/prog"
@@ -60,7 +60,7 @@ func run(wl, gating string, optimize bool, args []string) error {
 		if strings.HasSuffix(args[0], ".og64") {
 			p, err = objfile.ReadFile(args[0])
 		} else {
-			p, err = core.AssembleFile(args[0])
+			p, err = opgate.AssembleFile(args[0])
 		}
 	default:
 		return fmt.Errorf("need an input file or -workload")
@@ -71,18 +71,18 @@ func run(wl, gating string, optimize bool, args []string) error {
 
 	run := p
 	if optimize && (mode == power.GateSoftware || mode == power.GateCooperative || mode == power.GateCooperativeSig) {
-		opt, oerr := core.Optimize(p, core.OptimizeOptions{})
+		opt, oerr := opgate.Optimize(p, opgate.OptimizeOptions{})
 		if oerr != nil {
 			return oerr
 		}
 		run = opt.Program
 	}
 
-	base, err := core.Simulate(p, core.SimOptions{Gating: power.GateNone})
+	base, err := opgate.Simulate(p, opgate.SimOptions{Gating: power.GateNone})
 	if err != nil {
 		return err
 	}
-	g, err := core.Simulate(run, core.SimOptions{Gating: mode})
+	g, err := opgate.Simulate(run, opgate.SimOptions{Gating: mode})
 	if err != nil {
 		return err
 	}

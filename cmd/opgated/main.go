@@ -8,16 +8,21 @@
 //
 // API (JSON unless noted):
 //
-//	POST /v1/experiments      {"experiment":"fig8","threshold":50,
+//	POST   /v1/experiments    {"experiment":"fig8","threshold":50,
 //	                           "synthetic":"narrow,pointer","seed":7}
 //	                          → 202 + job; identical in-flight requests
 //	                          coalesce onto one job (200)
-//	GET  /v1/experiments      list runnable experiment IDs
-//	GET  /v1/jobs/{id}        job snapshot; ?follow=1 streams NDJSON
+//	GET    /v1/experiments    list runnable experiment IDs and titles
+//	GET    /v1/jobs/{id}      job snapshot; ?follow=1 streams NDJSON
 //	                          progress frames until the job finishes
-//	GET  /v1/reports/{key}    the rendered report, text/plain, straight
-//	                          from the store/cache
-//	GET  /healthz             liveness + job and store counters
+//	DELETE /v1/jobs/{id}      cancel a queued or running job: the
+//	                          per-workload fan-out stops mid-suite and
+//	                          the job reports status "canceled"
+//	GET    /v1/reports/{key}  the report sequence from the store/cache:
+//	                          text/plain by default, the canonical
+//	                          structured JSON (schema opgate.reports/v1)
+//	                          under Accept: application/json
+//	GET    /healthz           liveness + job and store counters
 package main
 
 import (

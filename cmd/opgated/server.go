@@ -1,20 +1,21 @@
 package main
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
-	"opgate/internal/harness"
+	"opgate"
 	"opgate/internal/store"
 )
 
 // serverConfig fixes the evaluation envelope for the process: every job
-// shares it, so every job can share the memoized suites underneath.
+// shares it, so every job can share the memoized sessions underneath.
 type serverConfig struct {
 	Quick   bool         // evaluate on train inputs
 	Workers int          // worker-pool size (concurrent jobs)
@@ -23,25 +24,27 @@ type serverConfig struct {
 }
 
 // server is the opgated HTTP service: a bounded worker pool draining an
-// experiment queue over shared, memoized harness suites. One suite exists
-// per distinct synthetic workload set; all of them share the process-wide
-// trace memo semantics of harness.Suite (per-key singleflight), so
+// experiment queue over shared opgate sessions. One session exists per
+// distinct synthetic workload set; all of them share the process-wide
+// memo semantics of the session's suite (per-key singleflight), so
 // concurrent jobs that touch the same (workload, variant) coalesce on one
 // emulation, and the persistent store extends that coalescing across
-// restarts.
+// restarts. Reports are stored in their structured canonical-JSON form
+// and rendered at read time (text by default, the stored JSON under
+// Accept: application/json).
 type server struct {
 	cfg serverConfig
 	mux *http.ServeMux
 
 	queue chan *job
 
-	mu         sync.Mutex
-	jobs       map[string]*job
-	jobOrder   []string                  // creation order, for terminal-job retirement
-	pending    map[store.Key]*job        // queued/running jobs by report key
-	suites     map[string]*harness.Suite // one memoized suite per synthetic set
-	suiteOrder []string                  // creation order, for suite eviction
-	seq        int
+	mu           sync.Mutex
+	jobs         map[string]*job
+	jobOrder     []string                   // creation order, for terminal-job retirement
+	pending      map[store.Key]*job         // queued/running jobs by report key
+	sessions     map[string]*opgate.Session // one memoized session per synthetic set
+	sessionOrder []string                   // creation order, for session eviction
+	seq          int
 
 	reportMu    sync.Mutex
 	reports     map[store.Key][]byte // in-memory report cache (also persisted)
@@ -52,12 +55,12 @@ type server struct {
 // store, when configured, keeps everything older.
 const reportCacheMax = 128
 
-// suiteCacheMax bounds the memoized suites: synthetic specs are
+// sessionCacheMax bounds the memoized sessions: synthetic specs are
 // client-supplied (a 64-bit seed space), so without a cap a request loop
-// over distinct seeds would grow suite memos — built programs, packed
-// traces, simulation results — without bound. Evicting a suite only costs
-// recomputation (the persistent store still serves its traces).
-const suiteCacheMax = 8
+// over distinct seeds would grow session memos — built programs, packed
+// traces, simulation results — without bound. Evicting a session only
+// costs recomputation (the persistent store still serves its traces).
+const sessionCacheMax = 8
 
 // jobRetainMax bounds the finished-job history; queued and running jobs
 // are never retired (the queue bound caps how many of those can exist).
@@ -72,17 +75,18 @@ func newServer(cfg serverConfig) *server {
 		cfg.Queue = 256
 	}
 	s := &server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		queue:   make(chan *job, cfg.Queue),
-		jobs:    map[string]*job{},
-		pending: map[store.Key]*job{},
-		suites:  map[string]*harness.Suite{},
-		reports: map[store.Key][]byte{},
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		queue:    make(chan *job, cfg.Queue),
+		jobs:     map[string]*job{},
+		pending:  map[store.Key]*job{},
+		sessions: map[string]*opgate.Session{},
+		reports:  map[store.Key][]byte{},
 	}
 	s.mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/reports/{key}", s.handleReport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	for i := 0; i < cfg.Workers; i++ {
@@ -94,12 +98,12 @@ func newServer(cfg serverConfig) *server {
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // experimentRequest is the POST /v1/experiments body. Experiment names an
-// entry of harness.Experiments (or "all"); Synthetic/Seed/Class widen the
+// entry of the experiment list (or "all"); Synthetic/Seed/Class widen the
 // workload set with generated programs, in exactly the syntax of ogbench's
 // -synthetic/-seed/-class flags.
 type experimentRequest struct {
 	Experiment string  `json:"experiment"`
-	Threshold  float64 `json:"threshold,omitempty"` // VRS threshold; 0 means the default 50
+	Threshold  float64 `json:"threshold,omitempty"` // VRS threshold; 0 means the default
 	Synthetic  string  `json:"synthetic,omitempty"`
 	Seed       uint64  `json:"seed,omitempty"`
 	Class      string  `json:"class,omitempty"`
@@ -128,7 +132,7 @@ func validExperiment(id string) bool {
 	if id == "all" {
 		return true
 	}
-	for _, e := range harness.Experiments() {
+	for _, e := range opgate.Experiments() {
 		if e.ID == id {
 			return true
 		}
@@ -147,7 +151,11 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Threshold == 0 {
-		req.Threshold = 50
+		req.Threshold = opgate.DefaultThreshold
+	}
+	if req.Threshold < 0 {
+		httpError(w, http.StatusBadRequest, "threshold %g: must be > 0", req.Threshold)
+		return
 	}
 	seed, class := req.Seed, req.Class
 	seedClassSet := seed != 0 || class != ""
@@ -157,31 +165,40 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if class == "" {
 		class = "small"
 	}
-	names, err := harness.ExpandSynthetics(req.Synthetic, seed, class, seedClassSet)
+	names, err := opgate.ExpandSynthetics(req.Synthetic, seed, class, seedClassSet)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
 	// The report key carries the executable's own hash: a rebuilt server
-	// (changed coefficient, new formatter) derives fresh addresses, so a
-	// shared store can never serve a stale report across recompiles.
+	// (changed coefficient, new schema) derives fresh addresses, so a
+	// shared store can never serve a stale report. Derived directly —
+	// Session.ReportKey is a thin wrapper over the same derivation
+	// (asserted in the root package's tests) — so a submission that will
+	// be rejected or coalesced never touches the bounded session cache.
 	key := store.ReportKey(req.Experiment, s.cfg.Quick, req.Threshold, names, store.SelfIdentity())
 	s.mu.Lock()
-	if j, ok := s.pending[key]; ok {
-		// An identical request is already queued or running: coalesce onto
-		// it instead of doing the work twice.
+	if j, ok := s.pending[key]; ok && j.ctx.Err() == nil {
+		// An identical live request is already queued or running: coalesce
+		// onto it instead of doing the work twice. A canceled job still
+		// waiting for a worker to retire it does not swallow new work —
+		// the fresh job below simply replaces it in the pending map (the
+		// old job's cleanup is guarded by identity, not key).
 		s.mu.Unlock()
 		s.respondJob(w, http.StatusOK, j)
 		return
 	}
 	s.seq++
+	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		id:         fmt.Sprintf("job-%06d", s.seq),
 		experiment: req.Experiment,
 		threshold:  req.Threshold,
 		synthetics: names,
 		reportKey:  key,
+		ctx:        ctx,
+		cancel:     cancel,
 		status:     "queued",
 		created:    time.Now(),
 	}
@@ -197,6 +214,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		delete(s.pending, key)
 		s.seq--
 		s.mu.Unlock()
+		cancel()
 		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.Queue)
 		return
 	}
@@ -212,11 +230,16 @@ func (s *server) respondJob(w http.ResponseWriter, status int, j *job) {
 }
 
 func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
-	ids := []string{"all"}
-	for _, e := range harness.Experiments() {
+	details := opgate.Experiments()
+	ids := make([]string, 0, len(details)+1)
+	ids = append(ids, "all")
+	for _, e := range details {
 		ids = append(ids, e.ID)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"experiments": ids})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"experiments": ids,
+		"details":     details,
+	})
 }
 
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -250,7 +273,7 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
-		if v.Status == "done" || v.Status == "failed" {
+		if terminalStatus(v.Status) {
 			return
 		}
 		select {
@@ -259,6 +282,30 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		case <-time.After(100 * time.Millisecond):
 		}
 	}
+}
+
+// handleCancel cancels a queued or running job: its context is cancelled,
+// which stops the per-workload fan-out mid-suite; the job reports status
+// "canceled". A job still waiting in the queue turns terminal right here
+// (its fate is sealed, so followers should not wait for a worker to drain
+// it), a running one when its context error surfaces. Cancelling a
+// finished job is a no-op.
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.cancel()
+	j.cancelIfQueued()
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// wantsJSON reports whether the request negotiates the structured form.
+func wantsJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
 }
 
 func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -272,8 +319,22 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no report under that key (yet)")
 		return
 	}
+	if wantsJSON(r) {
+		// The stored blob is the canonical structured encoding: serve it
+		// verbatim, schema and all.
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		return
+	}
+	reports, err := opgate.DecodeReports(data)
+	if err != nil {
+		// Keys embed the executable identity, so an undecodable blob is
+		// damage, not skew; treat it as the miss it is.
+		httpError(w, http.StatusNotFound, "stored report is not decodable: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Write(data)
+	_ = opgate.TextRenderer{}.Render(w, reports)
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -310,31 +371,42 @@ func (s *server) retireJobsLocked() {
 	}
 }
 
-// suiteFor returns the shared memoized suite for a synthetic workload set,
-// creating it on first use. The cache is bounded (suiteCacheMax, oldest
-// first): evicting a suite only drops memos — with a store attached its
+// sessionFor returns the shared session for a synthetic workload set,
+// creating it on first use. The cache is bounded (sessionCacheMax, oldest
+// first): evicting a session only drops memos — with a store attached its
 // traces remain one disk read away.
-func (s *server) suiteFor(synthetics []string) *harness.Suite {
+func (s *server) sessionFor(synthetics []string) *opgate.Session {
 	key := strings.Join(synthetics, "\x00")
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	suite, ok := s.suites[key]
+	sess, ok := s.sessions[key]
 	if !ok {
-		suite = harness.NewSuite(s.cfg.Quick)
-		suite.Synthetics = synthetics
-		suite.Store = s.cfg.Store
-		s.suites[key] = suite
-		s.suiteOrder = append(s.suiteOrder, key)
-		for len(s.suiteOrder) > suiteCacheMax {
-			delete(s.suites, s.suiteOrder[0])
-			s.suiteOrder = s.suiteOrder[1:]
+		opts := []opgate.Option{
+			opgate.WithQuick(s.cfg.Quick),
+			opgate.WithSynthetics(synthetics...),
+		}
+		if s.cfg.Store != nil {
+			opts = append(opts, opgate.WithStore(s.cfg.Store))
+		}
+		var err error
+		sess, err = opgate.NewSession(opts...)
+		if err != nil {
+			// Synthetic names were validated at submit; a failure here is
+			// programmer error, not client input.
+			panic(fmt.Sprintf("opgated: session construction: %v", err))
+		}
+		s.sessions[key] = sess
+		s.sessionOrder = append(s.sessionOrder, key)
+		for len(s.sessionOrder) > sessionCacheMax {
+			delete(s.sessions, s.sessionOrder[0])
+			s.sessionOrder = s.sessionOrder[1:]
 		}
 	}
-	return suite
+	return sess
 }
 
 // worker drains the job queue; the pool size bounds concurrent experiment
-// evaluation (each job itself fans out over the suite's worker pool).
+// evaluation (each job itself fans out over the session's worker pool).
 func (s *server) worker() {
 	for j := range s.queue {
 		s.runJob(j)
@@ -343,47 +415,66 @@ func (s *server) worker() {
 
 func (s *server) runJob(j *job) {
 	defer func() {
+		j.cancel() // release the context's resources on every exit path
 		s.mu.Lock()
 		if s.pending[j.reportKey] == j {
 			delete(s.pending, j.reportKey)
 		}
 		s.mu.Unlock()
 	}()
+	if j.ctx.Err() != nil {
+		// Cancelled while still queued: never start the work (handleCancel
+		// usually already made the job terminal; don't log it twice).
+		if !j.terminal() {
+			j.setStatus("canceled")
+		}
+		return
+	}
 	j.setStatus("running")
 
 	// Warm path: an earlier job (or process, via the store) already
-	// rendered this exact report.
+	// built this exact report sequence.
 	if data, ok := s.getReport(j.reportKey); ok {
 		j.log(fmt.Sprintf("served from cache (%d bytes)", len(data)))
 		j.setStatus("done")
 		return
 	}
 
-	suite := s.suiteFor(j.synthetics)
-	var buf bytes.Buffer
+	sess := s.sessionFor(j.synthetics)
+	at := opgate.AtThreshold(j.threshold)
+	var reports []*opgate.Report
 	if j.experiment == "all" {
-		exps := harness.Experiments()
+		exps := opgate.Experiments()
 		for i, e := range exps {
-			if err := e.Run(suite, &buf, j.threshold); err != nil {
-				j.fail(fmt.Sprintf("%s: %v", e.ID, err))
+			r, err := sess.Run(j.ctx, e.ID, at)
+			if err != nil {
+				j.finishErr(fmt.Errorf("%s: %w", e.ID, err))
 				return
 			}
+			reports = append(reports, r)
 			j.log(fmt.Sprintf("%s done (%d/%d)", e.ID, i+1, len(exps)))
 		}
 	} else {
-		if err := suite.RunExperiment(&buf, j.experiment, j.threshold); err != nil {
-			j.fail(err.Error())
+		r, err := sess.Run(j.ctx, j.experiment, at)
+		if err != nil {
+			j.finishErr(err)
 			return
 		}
+		reports = []*opgate.Report{r}
 		j.log(j.experiment + " done")
 	}
-	s.putReport(j.reportKey, buf.Bytes())
-	j.log(fmt.Sprintf("report stored (%d bytes)", buf.Len()))
+	blob, err := opgate.EncodeReports(reports)
+	if err != nil {
+		j.finishErr(err)
+		return
+	}
+	s.putReport(j.reportKey, blob)
+	j.log(fmt.Sprintf("report stored (%d bytes)", len(blob)))
 	j.setStatus("done")
 }
 
-// getReport serves a report from the in-memory cache, falling back to the
-// persistent store (and re-warming the memory cache on a hit).
+// getReport serves a report blob from the in-memory cache, falling back to
+// the persistent store (and re-warming the memory cache on a hit).
 func (s *server) getReport(key store.Key) ([]byte, bool) {
 	s.reportMu.Lock()
 	data, ok := s.reports[key]
@@ -421,6 +512,11 @@ func (s *server) cacheReport(key store.Key, data []byte) {
 	s.reports[key] = data
 }
 
+// terminalStatus reports whether a job status is final.
+func terminalStatus(status string) bool {
+	return status == "done" || status == "failed" || status == "canceled"
+}
+
 // job is one enqueued experiment evaluation.
 type job struct {
 	id         string
@@ -428,6 +524,8 @@ type job struct {
 	threshold  float64
 	synthetics []string
 	reportKey  store.Key
+	ctx        context.Context
+	cancel     context.CancelFunc
 
 	mu       sync.Mutex
 	status   string
@@ -443,11 +541,28 @@ func (j *job) setStatus(status string) {
 	j.mu.Unlock()
 }
 
-func (j *job) fail(msg string) {
+// cancelIfQueued turns a not-yet-started job terminal immediately; a
+// running job keeps its status until the context error surfaces.
+func (j *job) cancelIfQueued() {
+	j.mu.Lock()
+	if j.status == "queued" {
+		j.status = "canceled"
+		j.progress = append(j.progress, progressEvent{time.Now(), "canceled"})
+	}
+	j.mu.Unlock()
+}
+
+// finishErr records a terminal failure, mapping context cancellation to
+// the "canceled" status instead of a generic failure.
+func (j *job) finishErr(err error) {
+	if errors.Is(err, context.Canceled) {
+		j.setStatus("canceled")
+		return
+	}
 	j.mu.Lock()
 	j.status = "failed"
-	j.err = msg
-	j.progress = append(j.progress, progressEvent{time.Now(), "failed: " + msg})
+	j.err = err.Error()
+	j.progress = append(j.progress, progressEvent{time.Now(), "failed: " + err.Error()})
 	j.mu.Unlock()
 }
 
@@ -460,7 +575,7 @@ func (j *job) log(msg string) {
 func (j *job) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.status == "done" || j.status == "failed"
+	return terminalStatus(j.status)
 }
 
 func (j *job) view() jobView {

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"opgate"
 	"opgate/internal/harness"
 	"opgate/internal/store"
 )
@@ -56,7 +58,7 @@ func awaitJob(t *testing.T, ts *httptest.Server, id string) jobView {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if v.Status == "done" || v.Status == "failed" {
+		if terminalStatus(v.Status) {
 			return v
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -96,13 +98,50 @@ func TestExperimentLifecycle(t *testing.T) {
 		t.Fatalf("report fetch returned %d: %s", resp.StatusCode, got.String())
 	}
 
+	rep, err := harness.NewSuite(true).RunExperiment(context.Background(), "table1", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := new(bytes.Buffer)
-	s := harness.NewSuite(true)
-	if err := s.RunExperiment(want, "table1", 50); err != nil {
+	if err := (harness.TextRenderer{}).Render(want, []*harness.Report{rep}); err != nil {
 		t.Fatal(err)
 	}
 	if got.String() != want.String() {
 		t.Fatal("served report differs from a direct suite render")
+	}
+
+	// Content negotiation: the same key serves the canonical structured
+	// encoding under Accept: application/json.
+	req, err := http.NewRequest("GET", ts.URL+"/v1/reports/"+done.ReportKey, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	jresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	if ct := jresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("negotiated report served as %q", ct)
+	}
+	var jgot bytes.Buffer
+	if _, err := jgot.ReadFrom(jresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	reports, err := opgate.DecodeReports(jgot.Bytes())
+	if err != nil {
+		t.Fatalf("negotiated report is not canonical JSON: %v", err)
+	}
+	if len(reports) != 1 || reports[0].ID != "table1" || !reports[0].Equal(rep) {
+		t.Fatalf("structured report drifted from a direct suite build")
+	}
+	wantBlob, err := opgate.EncodeReports([]*harness.Report{rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jgot.Bytes(), wantBlob) {
+		t.Fatal("served JSON is not the canonical encoding")
 	}
 }
 
@@ -230,6 +269,7 @@ func TestRequestValidation(t *testing.T) {
 	}{
 		"bad-json":        {"POST", "/v1/experiments", "{", http.StatusBadRequest},
 		"unknown-exp":     {"POST", "/v1/experiments", `{"experiment":"fig99"}`, http.StatusBadRequest},
+		"bad-threshold":   {"POST", "/v1/experiments", `{"experiment":"fig4","threshold":-50}`, http.StatusBadRequest},
 		"bad-synthetic":   {"POST", "/v1/experiments", `{"experiment":"fig2","synthetic":"nosuchfamily"}`, http.StatusBadRequest},
 		"orphan-seed":     {"POST", "/v1/experiments", `{"experiment":"fig2","seed":3}`, http.StatusBadRequest},
 		"missing-job":     {"GET", "/v1/jobs/job-999999", "", http.StatusNotFound},
@@ -265,7 +305,7 @@ func TestRequestValidation(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}
-	if want := len(harness.Experiments()) + 1; len(list.Experiments) != want {
+	if want := len(opgate.Experiments()) + 1; len(list.Experiments) != want {
 		t.Fatalf("list advertises %d experiments, want %d", len(list.Experiments), want)
 	}
 
@@ -277,6 +317,119 @@ func TestRequestValidation(t *testing.T) {
 	hr.Body.Close()
 	if hr.StatusCode != http.StatusOK {
 		t.Fatalf("healthz returned %d", hr.StatusCode)
+	}
+}
+
+// TestJobCancellation: DELETE /v1/jobs/{id} cancels a queued or running
+// job, which reaches the terminal "canceled" status without rendering a
+// report (the satellite bugfix: jobs used to run to completion).
+func TestJobCancellation(t *testing.T) {
+	// One worker: the first job occupies it, so the second is reliably
+	// queued or at the very start of its run when the DELETE lands.
+	ts := httptest.NewServer(newServer(serverConfig{Quick: true, Workers: 1, Queue: 4}))
+	t.Cleanup(ts.Close)
+
+	first, code := submit(t, ts, `{"experiment":"fig2"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit returned %d", code)
+	}
+	second, code := submit(t, ts, `{"experiment":"all"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("second submit returned %d", code)
+	}
+
+	req, err := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+second.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel returned %d", resp.StatusCode)
+	}
+
+	if v := awaitJob(t, ts, second.ID); v.Status != "canceled" {
+		t.Fatalf("canceled job ended %q (%s)", v.Status, v.Error)
+	}
+	if v := awaitJob(t, ts, first.ID); v.Status != "done" {
+		t.Fatalf("unrelated job ended %q (%s)", v.Status, v.Error)
+	}
+
+	// The canceled job produced no report.
+	rresp, err := http.Get(ts.URL + "/v1/reports/" + second.ReportKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("canceled job left a report behind (%d)", rresp.StatusCode)
+	}
+
+	// Cancelling a finished job is a harmless no-op.
+	req, err = http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+first.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v := awaitJob(t, ts, first.ID); v.Status != "done" {
+		t.Fatalf("done job flipped to %q after a late cancel", v.Status)
+	}
+}
+
+// TestResubmitAfterCancelIsNotCoalesced: a canceled job must not swallow
+// an identical resubmission — the new POST gets a fresh job that really
+// runs and produces the report.
+func TestResubmitAfterCancelIsNotCoalesced(t *testing.T) {
+	// One worker kept busy so the canceled job is still in the pending map
+	// (waiting to be retired) when the resubmission lands.
+	ts := httptest.NewServer(newServer(serverConfig{Quick: true, Workers: 1, Queue: 4}))
+	t.Cleanup(ts.Close)
+
+	busy, _ := submit(t, ts, `{"experiment":"fig2"}`)
+	victim, code := submit(t, ts, `{"experiment":"table1"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	req, err := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+victim.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	redo, code := submit(t, ts, `{"experiment":"table1"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmission coalesced onto the canceled job (code %d)", code)
+	}
+	if redo.ID == victim.ID {
+		t.Fatal("resubmission returned the canceled job")
+	}
+	if redo.ReportKey != victim.ReportKey {
+		t.Fatal("identical request derived a different report key")
+	}
+	if v := awaitJob(t, ts, redo.ID); v.Status != "done" {
+		t.Fatalf("resubmitted job ended %q (%s)", v.Status, v.Error)
+	}
+	if v := awaitJob(t, ts, busy.ID); v.Status != "done" {
+		t.Fatalf("busy job ended %q (%s)", v.Status, v.Error)
+	}
+	rresp, err := http.Get(ts.URL + "/v1/reports/" + redo.ReportKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmitted job produced no report (%d)", rresp.StatusCode)
 	}
 }
 

@@ -5,24 +5,40 @@
 // can gate off unused datapath bytes, evaluated on an out-of-order timing
 // model with a Wattch-style operand-gated power model.
 //
-// The implementation lives under internal/: see internal/core for the
-// library facade, internal/harness for the per-table/figure experiment
-// drivers, and DESIGN.md for the full system inventory. The root package
-// exists to host the repository-level benchmark harness (bench_test.go),
-// which regenerates every table and figure of the paper's evaluation.
+// This package is the library's one front door, in two halves. The
+// program-level facade (facade.go) covers the paper's flow on a single
+// binary — Assemble, Optimize (VRP), Specialize (VRS), Simulate,
+// CompareGating. The experiment pipeline (session.go) regenerates the
+// paper's tables and figures over the whole workload suite: a Session is
+// configured once with functional options (WithQuick, WithWorkers,
+// WithStore, WithSynthetics, WithTraceBudget, WithThreshold) and driven
+// with Run/RunAll under a context.Context that really cancels —
+// mid-suite, the per-workload fan-out stops scheduling. Results are
+// structured Report values (units and schema metadata, stable canonical
+// JSON, cell-level Diff) rendered by pluggable Renderers: TextRenderer
+// reproduces the classic aligned layout byte-for-byte, JSONRenderer the
+// machine-readable opgate.reports/v1 encoding.
+//
+// Everything else adapts this surface. `ogbench` renders a session to
+// stdout (-format text|json); `opgated` serves it over HTTP (POST
+// /v1/experiments, DELETE /v1/jobs/{id} for cancellation, GET
+// /v1/reports/{key} negotiating text or canonical JSON via Accept);
+// internal/core is a thin compatibility shim; the examples/ programs use
+// the public API only. See internal/harness for the per-experiment
+// drivers and DESIGN.md for the full system inventory. The root package
+// also hosts the repository-level benchmark harness (bench_test.go).
 //
 // Beyond the paper's eight kernels, internal/progen generates seed-driven
 // synthetic workloads in six behavioral families spanning the
 // dynamic-width spectrum; `ogbench -synthetic all` (or a family list with
-// -seed/-class) runs every experiment over the expanded suite, and
-// internal/progen/difftest asserts the substrate's equivalence invariants
-// on arbitrary seeds.
+// -seed/-class, shared with opgated via ExpandSynthetics) runs every
+// experiment over the expanded suite, and internal/progen/difftest
+// asserts the substrate's equivalence invariants on arbitrary seeds.
 //
-// Evaluation artifacts persist across processes through internal/store, a
-// content-addressed trace/report store: `ogbench -store DIR` (with an LRU
-// byte budget via -store-limit) makes a warm rerun emulate nothing while
-// printing byte-identical reports, and the `opgated` binary serves the
-// same pipeline as a long-running HTTP service (POST /v1/experiments,
-// GET /v1/jobs/{id}, GET /v1/reports/{key}) with a bounded worker pool
-// over shared memoized suites.
+// Evaluation artifacts persist across processes through the
+// content-addressed store (OpenStore / WithStore): packed retirement
+// traces and structured report blobs survive under hash addresses, so a
+// warm `ogbench -store DIR` rerun emulates nothing while printing
+// byte-identical reports, and a restarted opgated serves its predecessor's
+// reports in either representation.
 package opgate

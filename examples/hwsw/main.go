@@ -10,21 +10,19 @@ import (
 	"fmt"
 	"log"
 
-	"opgate/internal/core"
-	"opgate/internal/power"
-	"opgate/internal/workload"
+	"opgate"
 )
 
 func main() {
 	modes := []struct {
 		label  string
-		gating power.GatingMode
+		gating opgate.GatingMode
 		useVRP bool
 	}{
-		{"software (VRP)", power.GateSoftware, true},
-		{"hw size", power.GateHWSize, false},
-		{"hw significance", power.GateHWSignificance, false},
-		{"cooperative", power.GateCooperativeSig, true},
+		{"software (VRP)", opgate.GateSoftware, true},
+		{"hw size", opgate.GateHWSize, false},
+		{"hw significance", opgate.GateHWSignificance, false},
+		{"cooperative", opgate.GateCooperativeSig, true},
 	}
 
 	fmt.Printf("%-10s", "benchmark")
@@ -33,12 +31,12 @@ func main() {
 	}
 	fmt.Println()
 
-	for _, w := range workload.All() {
-		p, err := w.Build(workload.Ref)
+	for _, w := range opgate.Workloads() {
+		p, err := w.Build(opgate.Ref)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt, err := core.Optimize(p, core.OptimizeOptions{})
+		opt, err := opgate.Optimize(p, opgate.OptimizeOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +46,7 @@ func main() {
 			if m.useVRP {
 				target = opt.Program
 			}
-			_, ed2, err := core.CompareGating(target, m.gating)
+			_, ed2, err := opgate.CompareGating(target, m.gating)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -11,36 +11,34 @@ import (
 	"fmt"
 	"log"
 
-	"opgate/internal/core"
-	"opgate/internal/power"
-	"opgate/internal/workload"
+	"opgate"
 )
 
 func main() {
-	w, err := workload.ByName("ijpeg")
+	w, err := opgate.WorkloadByName("ijpeg")
 	if err != nil {
 		log.Fatal(err)
 	}
-	p, err := w.Build(workload.Ref)
+	p, err := w.Build(opgate.Ref)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	conv, err := core.Optimize(p, core.OptimizeOptions{Conventional: true})
+	conv, err := opgate.Optimize(p, opgate.OptimizeOptions{Conventional: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	useful, err := core.Optimize(p, core.OptimizeOptions{})
+	useful, err := opgate.Optimize(p, opgate.OptimizeOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("conventional VRP:", conv.Summary())
 	fmt.Println("proposed VRP:    ", useful.Summary())
 
-	for label, prog := range map[string]*core.Optimized{
+	for label, prog := range map[string]*opgate.Optimized{
 		"conventional": conv, "proposed": useful,
 	} {
-		energy, ed2, err := core.CompareGating(prog.Program, power.GateSoftware)
+		energy, ed2, err := opgate.CompareGating(prog.Program, opgate.GateSoftware)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,8 +13,7 @@ import (
 	"fmt"
 	"log"
 
-	"opgate/internal/core"
-	"opgate/internal/power"
+	"opgate"
 )
 
 const src = `
@@ -35,19 +34,19 @@ loop:
 `
 
 func main() {
-	p, err := core.Assemble(src)
+	p, err := opgate.Assemble(src)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	opt, err := core.Optimize(p, core.OptimizeOptions{})
+	opt, err := opgate.Optimize(p, opgate.OptimizeOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("after VRP:", opt.Summary())
-	fmt.Println(core.Disassemble(opt.Program))
+	fmt.Println(opgate.Disassemble(opt.Program))
 
-	energy, ed2, err := core.CompareGating(opt.Program, power.GateSoftware)
+	energy, ed2, err := opgate.CompareGating(opt.Program, opgate.GateSoftware)
 	if err != nil {
 		log.Fatal(err)
 	}

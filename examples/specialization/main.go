@@ -12,26 +12,24 @@ import (
 	"fmt"
 	"log"
 
-	"opgate/internal/core"
-	"opgate/internal/power"
-	"opgate/internal/workload"
+	"opgate"
 )
 
 func main() {
-	w, err := workload.ByName("m88ksim")
+	w, err := opgate.WorkloadByName("m88ksim")
 	if err != nil {
 		log.Fatal(err)
 	}
-	trainP, err := w.Build(workload.Train)
+	trainP, err := w.Build(opgate.Train)
 	if err != nil {
 		log.Fatal(err)
 	}
-	refP, err := w.Build(workload.Ref)
+	refP, err := w.Build(opgate.Ref)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	spec, err := core.Specialize(trainP, refP, core.SpecializeOptions{Threshold: 50})
+	spec, err := opgate.Specialize(trainP, refP, opgate.SpecializeOptions{Threshold: 50})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,18 +42,18 @@ func main() {
 	fmt.Printf("specialized points: %d, cloned instructions: %d, eliminated: %d\n",
 		r.NumSpecialized(), r.StaticSpecialized, r.StaticEliminated)
 
-	before, err := core.Run(refP)
+	before, err := opgate.Run(refP)
 	if err != nil {
 		log.Fatal(err)
 	}
-	after, err := core.Run(spec.Program)
+	after, err := opgate.Run(spec.Program)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("dynamic instructions: %d -> %d (%.1f%% fewer)\n",
 		before.Dyn, after.Dyn, 100*(1-float64(after.Dyn)/float64(before.Dyn)))
 
-	energy, ed2, err := core.CompareGating(spec.Program, power.GateSoftware)
+	energy, ed2, err := opgate.CompareGating(spec.Program, opgate.GateSoftware)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,171 +1,62 @@
-// Package core is the public face of the operand-gating library: it ties
-// the binary optimizer (value range propagation and value range
-// specialization), the functional emulator, the out-of-order timing model
-// and the operand-gated power model into a handful of calls that cover the
-// common flows:
-//
-//	p, _ := core.AssembleFile("prog.s")          // or asm.Builder / workload kernels
-//	opt, _ := core.Optimize(p, core.OptimizeOptions{})
-//	fmt.Println(opt.Summary())
-//	res, _ := core.Simulate(opt.Program, core.SimOptions{Gating: power.GateSoftware})
-//
-// Everything the facade exposes is also reachable directly through the
-// internal packages; the facade exists so the examples and tools read like
-// the paper's flow: analyze → re-encode → (optionally specialize) → run.
+// Package core is a thin compatibility adapter over the public opgate
+// package, which is the real front door of the library: every type here
+// is an alias and every function a one-line delegation. New code should
+// import opgate directly; this shim keeps older internal callers and
+// their tests compiling while they migrate.
 package core
 
 import (
-	"fmt"
-	"os"
+	"opgate"
 
-	"opgate/internal/asm"
 	"opgate/internal/emu"
 	"opgate/internal/power"
 	"opgate/internal/prog"
 	"opgate/internal/uarch"
-	"opgate/internal/vrp"
-	"opgate/internal/vrs"
 )
 
-// Assemble parses OG64 assembly text into a program.
-func Assemble(src string) (*prog.Program, error) { return asm.Assemble(src) }
-
-// AssembleFile parses an assembly file.
-func AssembleFile(path string) (*prog.Program, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return asm.Assemble(string(b))
-}
-
 // OptimizeOptions selects the analysis mode for Optimize.
-type OptimizeOptions struct {
-	// Conventional disables the useful-range (demanded-byte) analysis,
-	// reproducing the paper's "conventional VRP" baseline.
-	Conventional bool
-	// VerifyEquivalence re-executes the re-encoded binary against the
-	// original and fails if observable behaviour differs. On by default
-	// via Optimize; set SkipVerify to disable.
-	SkipVerify bool
-}
+type OptimizeOptions = opgate.OptimizeOptions
 
 // Optimized is the result of running the binary optimizer.
-type Optimized struct {
-	// Program is the re-encoded binary (narrow opcodes assigned).
-	Program *prog.Program
-	// Analysis is the full VRP result (ranges, demands, widths).
-	Analysis *vrp.Result
-	// Original is the input binary.
-	Original *prog.Program
-}
-
-// Summary renders a one-line static width histogram.
-func (o *Optimized) Summary() string {
-	h := o.Analysis.StaticHistogram()
-	t := float64(h.Total())
-	if t == 0 {
-		return "no width-bearing instructions"
-	}
-	return fmt.Sprintf("widths: 8b %.0f%%  16b %.0f%%  32b %.0f%%  64b %.0f%% (%d instructions)",
-		100*float64(h.Count[0])/t, 100*float64(h.Count[1])/t,
-		100*float64(h.Count[2])/t, 100*float64(h.Count[3])/t, int64(t))
-}
-
-// Optimize runs value range propagation over the program and returns the
-// re-encoded binary, verifying behavioural equivalence unless disabled.
-func Optimize(p *prog.Program, opts OptimizeOptions) (*Optimized, error) {
-	mode := vrp.Useful
-	if opts.Conventional {
-		mode = vrp.Conventional
-	}
-	r, err := vrp.Analyze(p, vrp.Options{Mode: mode})
-	if err != nil {
-		return nil, err
-	}
-	q := r.Apply()
-	if !opts.SkipVerify {
-		if err := emu.CheckEquivalence(p, q); err != nil {
-			return nil, fmt.Errorf("core: re-encoded binary diverges: %w", err)
-		}
-	}
-	return &Optimized{Program: q, Analysis: r, Original: p}, nil
-}
+type Optimized = opgate.Optimized
 
 // SpecializeOptions configures profile-guided specialization.
-type SpecializeOptions struct {
-	// Threshold is the VRS energy threshold (the paper's 110..30 nJ
-	// sweep); zero means 50.
-	Threshold float64
-	// SkipVerify disables the behavioural equivalence check.
-	SkipVerify bool
-}
+type SpecializeOptions = opgate.SpecializeOptions
 
 // Specialized is the result of the full VRS pipeline.
-type Specialized struct {
-	// Program is the transformed, re-encoded binary.
-	Program *prog.Program
-	// Result carries the profiled points, clones and statistics.
-	Result *vrs.Result
-}
-
-// Specialize profiles trainProg (same code layout, training input) and
-// applies value range specialization to refProg.
-func Specialize(trainProg, refProg *prog.Program, opts SpecializeOptions) (*Specialized, error) {
-	r, err := vrs.Specialize(trainProg, refProg, vrs.Options{Threshold: opts.Threshold})
-	if err != nil {
-		return nil, err
-	}
-	q := r.Apply()
-	if !opts.SkipVerify {
-		if err := emu.CheckEquivalence(refProg, q); err != nil {
-			return nil, fmt.Errorf("core: specialized binary diverges: %w", err)
-		}
-	}
-	return &Specialized{Program: q, Result: r}, nil
-}
-
-// Run executes a program functionally and returns its observable result.
-func Run(p *prog.Program) (*emu.RunResult, error) { return emu.Execute(p) }
+type Specialized = opgate.Specialized
 
 // SimOptions configures a timing+energy simulation.
-type SimOptions struct {
-	Gating power.GatingMode
-	// Config overrides the Table 2 machine; nil uses the default.
-	Config *uarch.Config
-	// Params overrides the power coefficients; nil uses the default.
-	Params *power.Params
+type SimOptions = opgate.SimOptions
+
+// Assemble parses OG64 assembly text into a program.
+func Assemble(src string) (*prog.Program, error) { return opgate.Assemble(src) }
+
+// AssembleFile parses an assembly file.
+func AssembleFile(path string) (*prog.Program, error) { return opgate.AssembleFile(path) }
+
+// Optimize runs value range propagation and re-encodes the program.
+func Optimize(p *prog.Program, opts OptimizeOptions) (*Optimized, error) {
+	return opgate.Optimize(p, opts)
 }
 
-// Simulate runs the out-of-order timing model with the operand-gated
-// power model and returns cycles, energy, and rates.
+// Specialize profiles trainProg and specializes refProg.
+func Specialize(trainProg, refProg *prog.Program, opts SpecializeOptions) (*Specialized, error) {
+	return opgate.Specialize(trainProg, refProg, opts)
+}
+
+// Run executes a program functionally.
+func Run(p *prog.Program) (*emu.RunResult, error) { return opgate.Run(p) }
+
+// Simulate runs the timing model with the operand-gated power model.
 func Simulate(p *prog.Program, opts SimOptions) (*uarch.Result, error) {
-	cfg := uarch.DefaultConfig()
-	if opts.Config != nil {
-		cfg = *opts.Config
-	}
-	params := power.DefaultParams()
-	if opts.Params != nil {
-		params = *opts.Params
-	}
-	return uarch.Run(p, cfg, params, opts.Gating)
+	return opgate.Simulate(p, opts)
 }
 
-// CompareGating simulates the same program under baseline (ungated) and a
-// gated mode, returning the fractional energy and ED² savings.
+// CompareGating returns the fractional energy and ED² savings of a mode.
 func CompareGating(p *prog.Program, mode power.GatingMode) (energySaving, ed2Saving float64, err error) {
-	base, err := Simulate(p, SimOptions{Gating: power.GateNone})
-	if err != nil {
-		return 0, 0, err
-	}
-	g, err := Simulate(p, SimOptions{Gating: mode})
-	if err != nil {
-		return 0, 0, err
-	}
-	_, energySaving = power.Savings(base.Energy, g.Energy)
-	ed2Saving = power.EnergyDelay2Saving(base.Energy.Total(), base.Cycles, g.Energy.Total(), g.Cycles)
-	return energySaving, ed2Saving, nil
+	return opgate.CompareGating(p, mode)
 }
 
 // Disassemble renders a program as assembly text.
-func Disassemble(p *prog.Program) string { return asm.Disassemble(p) }
+func Disassemble(p *prog.Program) string { return opgate.Disassemble(p) }

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+
 	"opgate/internal/emu"
 	"opgate/internal/isa"
 	"opgate/internal/power"
@@ -14,7 +16,7 @@ import (
 // points: the unextended base ISA (only memory and mask operations carry
 // widths), the paper's chosen extension set, and an idealised ISA with
 // every class encodable at every width.
-func (s *Suite) AblationOpcodeSets() (*Report, error) {
+func (s *Suite) AblationOpcodeSets(ctx context.Context) (*Report, error) {
 	sets := []struct {
 		label string
 		set   *isa.OpcodeSet
@@ -26,6 +28,7 @@ func (s *Suite) AblationOpcodeSets() (*Report, error) {
 	rep := &Report{
 		ID:      "ablation-opcodes",
 		Title:   "Opcode-set ablation: energy savings and 64-bit share under VRP",
+		Unit:    "fraction",
 		Columns: []string{"energy saved", "64-bit share"},
 		Percent: true,
 	}
@@ -34,7 +37,7 @@ func (s *Suite) AblationOpcodeSets() (*Report, error) {
 		hist  vrp.WidthHistogram
 	}
 	for _, cfg := range sets {
-		points, err := mapNames(s, func(name string) (point, error) {
+		points, err := mapNames(ctx, s, func(name string) (point, error) {
 			var pt point
 			p, err := s.Program(name, s.evalClass())
 			if err != nil {
@@ -81,7 +84,7 @@ func (s *Suite) AblationOpcodeSets() (*Report, error) {
 // machinery: useful ranges (§2.2.5), loop trip counts (§2.3) and branch
 // refinement (§2.2.4), measured as the 64-bit dynamic share when each is
 // removed.
-func (s *Suite) AblationAnalysis() (*Report, error) {
+func (s *Suite) AblationAnalysis(ctx context.Context) (*Report, error) {
 	configs := []struct {
 		label string
 		opts  vrp.Options
@@ -96,11 +99,12 @@ func (s *Suite) AblationAnalysis() (*Report, error) {
 	rep := &Report{
 		ID:      "ablation-analysis",
 		Title:   "Analysis ablation: dynamic 64-bit share",
+		Unit:    "fraction",
 		Columns: []string{"64-bit share"},
 		Percent: true,
 	}
 	for _, cfg := range configs {
-		hists, err := mapNames(s, func(name string) (vrp.WidthHistogram, error) {
+		hists, err := mapNames(ctx, s, func(name string) (vrp.WidthHistogram, error) {
 			var h vrp.WidthHistogram
 			p, err := s.Program(name, s.evalClass())
 			if err != nil {

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapNamesRefusesCanceledContext: a context canceled before the
+// fan-out begins schedules zero per-workload work.
+func TestMapNamesRefusesCanceledContext(t *testing.T) {
+	s := NewSuite(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	_, err := mapNames(ctx, s, func(name string) (int, error) {
+		calls.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mapNames returned %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Errorf("canceled fan-out still scheduled %d workloads", n)
+	}
+}
+
+// TestMapNamesStopsSchedulingMidSuite: cancellation during the fan-out
+// stops scheduling further workloads (in-flight ones drain) and reports
+// the context's error. Workers=1 serialises scheduling so the count is
+// meaningful.
+func TestMapNamesStopsSchedulingMidSuite(t *testing.T) {
+	s := NewSuite(true)
+	s.Workers = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int32
+	_, err := mapNames(ctx, s, func(name string) (int, error) {
+		if calls.Add(1) == 2 {
+			cancel()
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mapNames returned %v, want context.Canceled", err)
+	}
+	// The scheduler may race one extra workload past the cancellation,
+	// but nowhere near the full suite.
+	if n, total := calls.Load(), int32(len(s.Names())); n >= total {
+		t.Errorf("scheduled all %d workloads despite mid-suite cancellation", total)
+	}
+}
+
+// TestRunExperimentCanceled: the experiment surface propagates
+// cancellation as the context's error, for every experiment — including
+// the pure in-memory ones, which never reach a fan-out.
+func TestRunExperimentCanceled(t *testing.T) {
+	s := NewSuite(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range Experiments() {
+		if _, err := s.RunExperiment(ctx, e.ID, 50); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: RunExperiment returned %v, want context.Canceled", e.ID, err)
+		}
+	}
+	if _, err := s.RunAll(ctx, 50); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunAll returned %v, want context.Canceled", err)
+	}
+	if n := s.Emulations(); n != 0 {
+		t.Errorf("canceled runs still performed %d emulations", n)
+	}
+}

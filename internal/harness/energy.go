@@ -1,18 +1,20 @@
 package harness
 
 import (
+	"context"
+
 	"opgate/internal/power"
 )
 
 // perStructureSavings averages per-structure energy savings over the suite
 // for one (variant, mode) configuration.
-func (s *Suite) perStructureSavings(variant string, mode power.GatingMode) ([power.NumStructures]float64, float64, error) {
+func (s *Suite) perStructureSavings(ctx context.Context, variant string, mode power.GatingMode) ([power.NumStructures]float64, float64, error) {
 	type saving struct {
 		per   [power.NumStructures]float64
 		total float64
 	}
 	var sum [power.NumStructures]float64
-	savings, err := mapNames(s, func(name string) (saving, error) {
+	savings, err := mapNames(ctx, s, func(name string) (saving, error) {
 		var sv saving
 		base, err := s.Baseline(name)
 		if err != nil {
@@ -44,8 +46,8 @@ func (s *Suite) perStructureSavings(variant string, mode power.GatingMode) ([pow
 
 // perBenchmarkRows fans fn out across the workload suite, then appends one
 // row per benchmark in suite order plus an AVG row averaging each column.
-func perBenchmarkRows(s *Suite, rep *Report, fn func(name string) ([]float64, error)) error {
-	rows, err := mapNames(s, fn)
+func perBenchmarkRows(ctx context.Context, s *Suite, rep *Report, fn func(name string) ([]float64, error)) error {
+	rows, err := mapNames(ctx, s, fn)
 	if err != nil {
 		return err
 	}
@@ -85,14 +87,15 @@ func structureRow(label string, per [power.NumStructures]float64, total float64)
 }
 
 // Figure3 reproduces the per-structure energy savings of VRP.
-func (s *Suite) Figure3() (*Report, error) {
-	per, total, err := s.perStructureSavings("vrp", power.GateSoftware)
+func (s *Suite) Figure3(ctx context.Context) (*Report, error) {
+	per, total, err := s.perStructureSavings(ctx, "vrp", power.GateSoftware)
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{
 		ID:      "fig3",
 		Title:   "Energy savings with VRP (per processor structure, suite average)",
+		Unit:    "fraction",
 		Columns: structureColumns(),
 		Percent: true,
 	}
@@ -102,14 +105,15 @@ func (s *Suite) Figure3() (*Report, error) {
 
 // Figure8 reproduces the whole-processor energy savings per benchmark for
 // VRP and the five VRS cost configurations.
-func (s *Suite) Figure8() (*Report, error) {
+func (s *Suite) Figure8(ctx context.Context) (*Report, error) {
 	rep := &Report{
 		ID:      "fig8",
 		Title:   "Energy savings per benchmark: VRP and VRS at each threshold",
+		Unit:    "fraction",
 		Columns: []string{"VRP", "VRS 110nJ", "VRS 90nJ", "VRS 70nJ", "VRS 50nJ", "VRS 30nJ"},
 		Percent: true,
 	}
-	err := perBenchmarkRows(s, rep, func(name string) ([]float64, error) {
+	err := perBenchmarkRows(ctx, s, rep, func(name string) ([]float64, error) {
 		var vals []float64
 		v, err := s.EnergySaving(name, "vrp", power.GateSoftware)
 		if err != nil {
@@ -132,20 +136,21 @@ func (s *Suite) Figure8() (*Report, error) {
 }
 
 // Figure9 reproduces the per-structure energy benefits of VRP and VRS.
-func (s *Suite) Figure9() (*Report, error) {
+func (s *Suite) Figure9(ctx context.Context) (*Report, error) {
 	rep := &Report{
 		ID:      "fig9",
 		Title:   "Energy benefits for the different parts of the processor",
+		Unit:    "fraction",
 		Columns: structureColumns(),
 		Percent: true,
 	}
-	per, total, err := s.perStructureSavings("vrp", power.GateSoftware)
+	per, total, err := s.perStructureSavings(ctx, "vrp", power.GateSoftware)
 	if err != nil {
 		return nil, err
 	}
 	rep.Rows = append(rep.Rows, structureRow("VRP", per, total))
 	for _, th := range Thresholds {
-		per, total, err := s.perStructureSavings(vrsVariant(th), power.GateSoftware)
+		per, total, err := s.perStructureSavings(ctx, vrsVariant(th), power.GateSoftware)
 		if err != nil {
 			return nil, err
 		}
@@ -156,16 +161,17 @@ func (s *Suite) Figure9() (*Report, error) {
 
 // Figure10 reproduces the execution-time savings of VRS (VRP does not
 // change timing: it only re-encodes opcodes).
-func (s *Suite) Figure10() (*Report, error) {
+func (s *Suite) Figure10(ctx context.Context) (*Report, error) {
 	rep := &Report{
 		ID:      "fig10",
 		Title:   "Execution time savings (VRS variants vs baseline)",
+		Unit:    "fraction",
 		Percent: true,
 	}
 	for _, th := range Thresholds {
 		rep.Columns = append(rep.Columns, "VRS "+itoa(int(th))+"nJ")
 	}
-	err := perBenchmarkRows(s, rep, func(name string) ([]float64, error) {
+	err := perBenchmarkRows(ctx, s, rep, func(name string) ([]float64, error) {
 		base, err := s.Baseline(name)
 		if err != nil {
 			return nil, err
@@ -187,14 +193,15 @@ func (s *Suite) Figure10() (*Report, error) {
 }
 
 // Figure11 reproduces the energy-delay² benefits per benchmark.
-func (s *Suite) Figure11() (*Report, error) {
+func (s *Suite) Figure11(ctx context.Context) (*Report, error) {
 	rep := &Report{
 		ID:      "fig11",
 		Title:   "Energy-Delay^2 benefits",
+		Unit:    "fraction",
 		Columns: []string{"VRP", "VRS 110nJ", "VRS 90nJ", "VRS 70nJ", "VRS 50nJ", "VRS 30nJ"},
 		Percent: true,
 	}
-	err := perBenchmarkRows(s, rep, func(name string) ([]float64, error) {
+	err := perBenchmarkRows(ctx, s, rep, func(name string) ([]float64, error) {
 		var vals []float64
 		v, err := s.ED2Saving(name, "vrp", power.GateSoftware)
 		if err != nil {
@@ -218,14 +225,15 @@ func (s *Suite) Figure11() (*Report, error) {
 
 // Figure13 reproduces the energy savings of the two hardware compression
 // schemes on the unmodified binaries.
-func (s *Suite) Figure13() (*Report, error) {
+func (s *Suite) Figure13(ctx context.Context) (*Report, error) {
 	rep := &Report{
 		ID:      "fig13",
 		Title:   "Energy savings for the hardware approaches",
+		Unit:    "fraction",
 		Columns: []string{"size compression", "significance compression"},
 		Percent: true,
 	}
-	err := perBenchmarkRows(s, rep, func(name string) ([]float64, error) {
+	err := perBenchmarkRows(ctx, s, rep, func(name string) ([]float64, error) {
 		vSize, err := s.EnergySaving(name, "base", power.GateHWSize)
 		if err != nil {
 			return nil, err
@@ -243,18 +251,19 @@ func (s *Suite) Figure13() (*Report, error) {
 }
 
 // Figure14 reproduces the per-structure savings of the hardware schemes.
-func (s *Suite) Figure14() (*Report, error) {
+func (s *Suite) Figure14(ctx context.Context) (*Report, error) {
 	rep := &Report{
 		ID:      "fig14",
 		Title:   "Energy savings for each processor part (hardware schemes)",
+		Unit:    "fraction",
 		Columns: structureColumns(),
 		Percent: true,
 	}
-	perSize, totSize, err := s.perStructureSavings("base", power.GateHWSize)
+	perSize, totSize, err := s.perStructureSavings(ctx, "base", power.GateHWSize)
 	if err != nil {
 		return nil, err
 	}
-	perSig, totSig, err := s.perStructureSavings("base", power.GateHWSignificance)
+	perSig, totSig, err := s.perStructureSavings(ctx, "base", power.GateHWSignificance)
 	if err != nil {
 		return nil, err
 	}
@@ -267,7 +276,7 @@ func (s *Suite) Figure14() (*Report, error) {
 
 // Figure15 reproduces the energy-delay² savings of every software,
 // hardware, and combined configuration.
-func (s *Suite) Figure15(threshold float64) (*Report, error) {
+func (s *Suite) Figure15(ctx context.Context, threshold float64) (*Report, error) {
 	vrsV := vrsVariant(threshold)
 	configs := []struct {
 		label   string
@@ -286,12 +295,13 @@ func (s *Suite) Figure15(threshold float64) (*Report, error) {
 	rep := &Report{
 		ID:      "fig15",
 		Title:   "Energy-delay^2 savings for hardware and software configurations",
+		Unit:    "fraction",
 		Percent: true,
 	}
 	for _, c := range configs {
 		rep.Columns = append(rep.Columns, c.label)
 	}
-	err := perBenchmarkRows(s, rep, func(name string) ([]float64, error) {
+	err := perBenchmarkRows(ctx, s, rep, func(name string) ([]float64, error) {
 		var vals []float64
 		for _, c := range configs {
 			v, err := s.ED2Saving(name, c.variant, c.mode)

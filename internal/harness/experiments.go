@@ -1,82 +1,112 @@
 package harness
 
 import (
+	"context"
 	"fmt"
-	"io"
 )
 
-// Experiment is one regenerable unit of the evaluation: a table, figure
-// or ablation, addressable by the ID ogbench exposes.
+// Experiment is one regenerable unit of the evaluation — a table, figure
+// or ablation — as a first-class descriptor: the ID ogbench and opgated
+// expose, the title consumers can list without running anything, and a
+// builder returning the structured Report. Rendering is the caller's
+// choice (TextRenderer, JSONRenderer, or any custom Renderer).
 type Experiment struct {
-	ID  string
-	Run func(s *Suite, w io.Writer, threshold float64) error
-}
-
-// showReport renders a generated report (or propagates its error).
-func showReport(w io.Writer, r *Report, err error) error {
-	if err != nil {
-		return err
-	}
-	_, err = fmt.Fprintln(w, r.Format())
-	return err
+	ID    string
+	Title string
+	Run   func(ctx context.Context, s *Suite, threshold float64) (*Report, error)
 }
 
 // Experiments returns every experiment in the paper's presentation order.
-// cmd/ogbench and the golden-report regression test both drive this list,
-// so a new experiment is automatically exposed and regression-covered.
+// cmd/ogbench, cmd/opgated and the golden-report regression tests all
+// drive this list, so a new experiment is automatically exposed and
+// regression-covered. Titles mirror the built reports exactly (asserted
+// in tests).
 func Experiments() []Experiment {
+	pure := func(fn func(s *Suite) *Report) func(context.Context, *Suite, float64) (*Report, error) {
+		return func(_ context.Context, s *Suite, _ float64) (*Report, error) { return fn(s), nil }
+	}
+	fixed := func(fn func(s *Suite, ctx context.Context) (*Report, error)) func(context.Context, *Suite, float64) (*Report, error) {
+		return func(ctx context.Context, s *Suite, _ float64) (*Report, error) { return fn(s, ctx) }
+	}
 	return []Experiment{
-		{"table1", func(s *Suite, w io.Writer, _ float64) error {
-			_, err := fmt.Fprintln(w, s.Table1().Format())
-			return err
-		}},
-		{"table2", func(s *Suite, w io.Writer, _ float64) error {
-			_, err := fmt.Fprintln(w, s.Table2())
-			return err
-		}},
-		{"table3", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Table3(); return showReport(w, r, err) }},
-		{"fig2", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure2(); return showReport(w, r, err) }},
-		{"fig3", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure3(); return showReport(w, r, err) }},
-		{"fig4", func(s *Suite, w io.Writer, th float64) error { r, err := s.Figure4(th); return showReport(w, r, err) }},
-		{"fig5", func(s *Suite, w io.Writer, th float64) error { r, err := s.Figure5(th); return showReport(w, r, err) }},
-		{"fig6", func(s *Suite, w io.Writer, th float64) error { r, err := s.Figure6(th); return showReport(w, r, err) }},
-		{"fig7", func(s *Suite, w io.Writer, th float64) error { r, err := s.Figure7(th); return showReport(w, r, err) }},
-		{"fig8", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure8(); return showReport(w, r, err) }},
-		{"fig9", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure9(); return showReport(w, r, err) }},
-		{"fig10", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure10(); return showReport(w, r, err) }},
-		{"fig11", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure11(); return showReport(w, r, err) }},
-		{"fig12", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure12(); return showReport(w, r, err) }},
-		{"fig13", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure13(); return showReport(w, r, err) }},
-		{"fig14", func(s *Suite, w io.Writer, _ float64) error { r, err := s.Figure14(); return showReport(w, r, err) }},
-		{"fig15", func(s *Suite, w io.Writer, th float64) error { r, err := s.Figure15(th); return showReport(w, r, err) }},
-		{"ablation-opcodes", func(s *Suite, w io.Writer, _ float64) error {
-			r, err := s.AblationOpcodeSets()
-			return showReport(w, r, err)
-		}},
-		{"ablation-analysis", func(s *Suite, w io.Writer, _ float64) error {
-			r, err := s.AblationAnalysis()
-			return showReport(w, r, err)
-		}},
+		{"table1", "Energy savings for ALU operations (nJ), source width (row) -> dest width (column)",
+			pure((*Suite).Table1)},
+		{"table2", "Machine parameters", pure((*Suite).Table2)},
+		{"table3", "Distribution of operation types (dynamic, after proposed VRP)",
+			fixed((*Suite).Table3)},
+		{"fig2", "Dynamic instruction distribution by width: conventional vs proposed VRP",
+			fixed((*Suite).Figure2)},
+		{"fig3", "Energy savings with VRP (per processor structure, suite average)",
+			fixed((*Suite).Figure3)},
+		{"fig4", "Distribution of the points profiled after specialization",
+			func(ctx context.Context, s *Suite, th float64) (*Report, error) { return s.Figure4(ctx, th) }},
+		{"fig5", "Distribution of the specialized instructions at compile time",
+			func(ctx context.Context, s *Suite, th float64) (*Report, error) { return s.Figure5(ctx, th) }},
+		{"fig6", "Distribution of run-time instructions: specialized vs guard comparisons",
+			func(ctx context.Context, s *Suite, th float64) (*Report, error) { return s.Figure6(ctx, th) }},
+		{"fig7", "Run-time instructions according to width",
+			func(ctx context.Context, s *Suite, th float64) (*Report, error) { return s.Figure7(ctx, th) }},
+		{"fig8", "Energy savings per benchmark: VRP and VRS at each threshold",
+			fixed((*Suite).Figure8)},
+		{"fig9", "Energy benefits for the different parts of the processor",
+			fixed((*Suite).Figure9)},
+		{"fig10", "Execution time savings (VRS variants vs baseline)",
+			fixed((*Suite).Figure10)},
+		{"fig11", "Energy-Delay^2 benefits",
+			fixed((*Suite).Figure11)},
+		{"fig12", "Data size distribution (significant bytes of produced values)",
+			fixed((*Suite).Figure12)},
+		{"fig13", "Energy savings for the hardware approaches",
+			fixed((*Suite).Figure13)},
+		{"fig14", "Energy savings for each processor part (hardware schemes)",
+			fixed((*Suite).Figure14)},
+		{"fig15", "Energy-delay^2 savings for hardware and software configurations",
+			func(ctx context.Context, s *Suite, th float64) (*Report, error) { return s.Figure15(ctx, th) }},
+		{"ablation-opcodes", "Opcode-set ablation: energy savings and 64-bit share under VRP",
+			fixed((*Suite).AblationOpcodeSets)},
+		{"ablation-analysis", "Analysis ablation: dynamic 64-bit share",
+			fixed((*Suite).AblationAnalysis)},
 	}
 }
 
-// RunExperiment renders one experiment by ID into w.
-func (s *Suite) RunExperiment(w io.Writer, id string, threshold float64) error {
+// LookupExperiment finds an experiment descriptor by ID.
+func LookupExperiment(id string) (Experiment, bool) {
 	for _, e := range Experiments() {
 		if e.ID == id {
-			return e.Run(s, w, threshold)
+			return e, true
 		}
 	}
-	return fmt.Errorf("unknown experiment %q", id)
+	return Experiment{}, false
 }
 
-// RunAll renders every experiment in order into w — the exact output of
-// `ogbench -experiment all`, which the golden-report regression test pins.
-func (s *Suite) RunAll(w io.Writer, threshold float64) error {
-	for _, e := range Experiments() {
-		if err := e.Run(s, w, threshold); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
-		}
+// RunExperiment builds one experiment's structured report. Cancelling ctx
+// stops the per-workload fan-out and returns the context's error.
+func (s *Suite) RunExperiment(ctx context.Context, id string, threshold float64) (*Report, error) {
+	e, ok := LookupExperiment(id)
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q", id)
 	}
-	return nil
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, s, threshold)
+}
+
+// RunAll builds every experiment in order — the report sequence behind
+// `ogbench -experiment all`, which the golden regression tests pin in
+// both text and JSON form.
+func (s *Suite) RunAll(ctx context.Context, threshold float64) ([]*Report, error) {
+	exps := Experiments()
+	reports := make([]*Report, 0, len(exps))
+	for _, e := range exps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, err := e.Run(ctx, s, threshold)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		reports = append(reports, r)
+	}
+	return reports, nil
 }

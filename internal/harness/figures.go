@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"opgate/internal/emu"
@@ -13,9 +14,9 @@ import (
 // conventional vs proposed (useful) value range propagation, averaged over
 // the suite. The proposed analysis must find strictly more narrow
 // instructions.
-func (s *Suite) Figure2() (*Report, error) {
+func (s *Suite) Figure2(ctx context.Context) (*Report, error) {
 	type pair struct{ conv, useful vrp.WidthHistogram }
-	pairs, err := mapNames(s, func(name string) (pair, error) {
+	pairs, err := mapNames(ctx, s, func(name string) (pair, error) {
 		var pr pair
 		var err error
 		if pr.conv, err = s.DynWidthHistogram(name, "vrp-conv"); err != nil {
@@ -37,6 +38,7 @@ func (s *Suite) Figure2() (*Report, error) {
 	rep := &Report{
 		ID:      "fig2",
 		Title:   "Dynamic instruction distribution by width: conventional vs proposed VRP",
+		Unit:    "fraction",
 		Columns: []string{"8 bits", "16 bits", "32 bits", "64 bits"},
 		Percent: true,
 	}
@@ -53,14 +55,16 @@ func fractions(h vrp.WidthHistogram) []float64 {
 
 // Figure4 reproduces the disposition of profiled points per benchmark:
 // specialized, dependent on another point (subsumed), or no benefit.
-func (s *Suite) Figure4(threshold float64) (*Report, error) {
+func (s *Suite) Figure4(ctx context.Context, threshold float64) (*Report, error) {
 	rep := &Report{
 		ID:      "fig4",
 		Title:   "Distribution of the points profiled after specialization",
+		Unit:    "fraction",
+		Units:   []string{"count", "fraction", "fraction", "fraction"},
 		Columns: []string{"points", "specialized", "dependent", "no benefit"},
 	}
 	type pts struct{ n, spec, dep float64 }
-	results, err := mapNames(s, func(name string) (pts, error) {
+	results, err := mapNames(ctx, s, func(name string) (pts, error) {
 		r, err := s.VRS(name, threshold)
 		if err != nil {
 			return pts{}, err
@@ -106,13 +110,15 @@ func (s *Suite) Figure4(threshold float64) (*Report, error) {
 // Figure5 reproduces the static disposition of instructions inside
 // specialized regions: kept (re-ranged) vs eliminated by constant
 // propagation and dead-code elimination.
-func (s *Suite) Figure5(threshold float64) (*Report, error) {
+func (s *Suite) Figure5(ctx context.Context, threshold float64) (*Report, error) {
 	rep := &Report{
 		ID:      "fig5",
 		Title:   "Distribution of the specialized instructions at compile time",
+		Unit:    "fraction",
+		Units:   []string{"count", "fraction", "fraction"},
 		Columns: []string{"static instrs", "specialized", "eliminated"},
 	}
-	rows, err := mapNames(s, func(name string) (Row, error) {
+	rows, err := mapNames(ctx, s, func(name string) (Row, error) {
 		r, err := s.VRS(name, threshold)
 		if err != nil {
 			return Row{}, err
@@ -135,14 +141,15 @@ func (s *Suite) Figure5(threshold float64) (*Report, error) {
 
 // Figure6 reproduces the run-time share of specialized instructions and of
 // the specialization comparisons (guards).
-func (s *Suite) Figure6(threshold float64) (*Report, error) {
+func (s *Suite) Figure6(ctx context.Context, threshold float64) (*Report, error) {
 	rep := &Report{
 		ID:      "fig6",
 		Title:   "Distribution of run-time instructions: specialized vs guard comparisons",
+		Unit:    "fraction",
 		Columns: []string{"specialized", "comparisons"},
 		Percent: true,
 	}
-	rows, err := mapNames(s, func(name string) (Row, error) {
+	rows, err := mapNames(ctx, s, func(name string) (Row, error) {
 		r, err := s.VRS(name, threshold)
 		if err != nil {
 			return Row{}, err
@@ -191,7 +198,7 @@ func (s *Suite) Figure6(threshold float64) (*Report, error) {
 
 // Figure7 reproduces the dynamic width distribution for the three value
 // range mechanisms: none (the original binary), VRP, and VRS.
-func (s *Suite) Figure7(threshold float64) (*Report, error) {
+func (s *Suite) Figure7(ctx context.Context, threshold float64) (*Report, error) {
 	variants := []struct{ label, variant string }{
 		{"non", "base"},
 		{"VRP", "vrp"},
@@ -200,11 +207,12 @@ func (s *Suite) Figure7(threshold float64) (*Report, error) {
 	rep := &Report{
 		ID:      "fig7",
 		Title:   "Run-time instructions according to width",
+		Unit:    "fraction",
 		Columns: []string{"8 bits", "16 bits", "32 bits", "64 bits"},
 		Percent: true,
 	}
 	for _, v := range variants {
-		hists, err := mapNames(s, func(name string) (vrp.WidthHistogram, error) {
+		hists, err := mapNames(ctx, s, func(name string) (vrp.WidthHistogram, error) {
 			return s.DynWidthHistogram(name, v.variant)
 		})
 		if err != nil {
@@ -245,12 +253,12 @@ func itoa(v int) string {
 // Figure12 reproduces the data-size distribution: the share of dynamic
 // result values needing 1..8 significant bytes. The 5-byte peak comes from
 // memory addresses (33+ bits), as in the paper.
-func (s *Suite) Figure12() (*Report, error) {
+func (s *Suite) Figure12(ctx context.Context) (*Report, error) {
 	type tally struct {
 		counts [9]int64
 		total  int64
 	}
-	tallies, err := mapNames(s, func(name string) (*tally, error) {
+	tallies, err := mapNames(ctx, s, func(name string) (*tally, error) {
 		t := new(tally)
 		// The destination-write bit is folded into the packed record, so
 		// the tally reads the cached base trace without re-deriving
@@ -283,6 +291,7 @@ func (s *Suite) Figure12() (*Report, error) {
 	rep := &Report{
 		ID:      "fig12",
 		Title:   "Data size distribution (significant bytes of produced values)",
+		Unit:    "fraction",
 		Columns: []string{"1", "2", "3", "4", "5", "6", "7", "8"},
 		Percent: true,
 	}

@@ -11,10 +11,10 @@ import (
 // (histograms, repeated calls) served from the cache.
 func TestFigureMatricesEmulateOncePerVariant(t *testing.T) {
 	s := NewSuite(true)
-	if _, err := s.Figure3(); err != nil {
+	if _, err := s.Figure3(testCtx); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Figure8(); err != nil {
+	if _, err := s.Figure8(testCtx); err != nil {
 		t.Fatal(err)
 	}
 	// Variants touched: base, vrp, and the five VRS thresholds.
@@ -26,7 +26,7 @@ func TestFigureMatricesEmulateOncePerVariant(t *testing.T) {
 
 	// The width histograms of Figure 2 read the cached traces: only the
 	// one variant not yet traced (vrp-conv) costs new emulations.
-	if _, err := s.Figure2(); err != nil {
+	if _, err := s.Figure2(testCtx); err != nil {
 		t.Fatal(err)
 	}
 	want += int64(len(s.Names()))
@@ -61,14 +61,14 @@ func TestFusedReportsMatchUnfused(t *testing.T) {
 		id  string
 		gen func(s *Suite) (*Report, error)
 	}{
-		{"table3", func(s *Suite) (*Report, error) { return s.Table3() }},
-		{"fig2", func(s *Suite) (*Report, error) { return s.Figure2() }},
-		{"fig3", func(s *Suite) (*Report, error) { return s.Figure3() }},
-		{"fig6", func(s *Suite) (*Report, error) { return s.Figure6(50) }},
-		{"fig8", func(s *Suite) (*Report, error) { return s.Figure8() }},
-		{"fig12", func(s *Suite) (*Report, error) { return s.Figure12() }},
-		{"fig13", func(s *Suite) (*Report, error) { return s.Figure13() }},
-		{"fig15", func(s *Suite) (*Report, error) { return s.Figure15(50) }},
+		{"table3", func(s *Suite) (*Report, error) { return s.Table3(testCtx) }},
+		{"fig2", func(s *Suite) (*Report, error) { return s.Figure2(testCtx) }},
+		{"fig3", func(s *Suite) (*Report, error) { return s.Figure3(testCtx) }},
+		{"fig6", func(s *Suite) (*Report, error) { return s.Figure6(testCtx, 50) }},
+		{"fig8", func(s *Suite) (*Report, error) { return s.Figure8(testCtx) }},
+		{"fig12", func(s *Suite) (*Report, error) { return s.Figure12(testCtx) }},
+		{"fig13", func(s *Suite) (*Report, error) { return s.Figure13(testCtx) }},
+		{"fig15", func(s *Suite) (*Report, error) { return s.Figure15(testCtx, 50) }},
 	}
 	for _, re := range reports {
 		rf, err := re.gen(fused)

@@ -2,47 +2,63 @@ package harness
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden report files")
 
-// TestQuickReportGolden pins the full `ogbench -quick` output (every
-// table, figure and ablation at the default threshold) to a committed
-// golden file, so report drift — a changed kernel, power coefficient,
-// pipeline constant or formatter — is caught in CI instead of by manual
-// diffing. Deliberate changes re-baseline with:
-//
-//	go test ./internal/harness -run TestQuickReportGolden -update
-func TestQuickReportGolden(t *testing.T) {
-	s := NewSuite(true)
-	var buf bytes.Buffer
-	if err := s.RunAll(&buf, 50); err != nil {
-		t.Fatal(err)
+// quickRun builds the full quick-mode report sequence (every table,
+// figure and ablation at the default threshold) exactly once and shares
+// it across the golden, JSON and round-trip tests — the suite memoizes
+// everything, so one RunAll covers all three.
+var quickRun struct {
+	once    sync.Once
+	reports []*Report
+	err     error
+}
+
+func quickReports(t *testing.T) []*Report {
+	t.Helper()
+	quickRun.once.Do(func() {
+		s := NewSuite(true)
+		quickRun.reports, quickRun.err = s.RunAll(context.Background(), 50)
+	})
+	if quickRun.err != nil {
+		t.Fatal(quickRun.err)
 	}
-	golden := filepath.Join("testdata", "ogbench_quick.golden")
+	return quickRun.reports
+}
+
+// checkGolden compares got against the named golden file (rewriting it
+// under -update), with a line-oriented first-difference report.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
 	if *updateGolden {
 		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("rewrote %s (%d bytes)", golden, buf.Len())
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
 		return
 	}
 	want, err := os.ReadFile(golden)
 	if err != nil {
 		t.Fatalf("missing golden file (create with -update): %v", err)
 	}
-	if bytes.Equal(buf.Bytes(), want) {
+	if bytes.Equal(got, want) {
 		return
 	}
-	gotLines := strings.Split(buf.String(), "\n")
+	gotLines := strings.Split(string(got), "\n")
 	wantLines := strings.Split(string(want), "\n")
 	for i := range gotLines {
 		if i >= len(wantLines) || gotLines[i] != wantLines[i] {
@@ -50,10 +66,108 @@ func TestQuickReportGolden(t *testing.T) {
 			if i < len(wantLines) {
 				wantLine = wantLines[i]
 			}
-			t.Fatalf("quick report drifted at line %d:\n  got:  %q\n  want: %q\n(re-baseline deliberate changes with -update)",
-				i+1, gotLines[i], wantLine)
+			t.Fatalf("%s drifted at line %d:\n  got:  %q\n  want: %q\n(re-baseline deliberate changes with -update)",
+				name, i+1, gotLines[i], wantLine)
 		}
 	}
-	t.Fatalf("quick report drifted: got %d lines, want %d (re-baseline with -update)",
-		len(gotLines), len(wantLines))
+	t.Fatalf("%s drifted: got %d lines, want %d (re-baseline with -update)",
+		name, len(gotLines), len(wantLines))
+}
+
+// TestQuickReportGolden pins the full `ogbench -quick` text output to a
+// committed golden file: the structured-report text renderer must
+// reproduce the pre-structured pipeline byte-for-byte, so report drift —
+// a changed kernel, power coefficient, pipeline constant or formatter —
+// is caught in CI instead of by manual diffing. Deliberate changes
+// re-baseline with:
+//
+//	go test ./internal/harness -run TestQuickReportGolden -update
+func TestQuickReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (TextRenderer{}).Render(&buf, quickReports(t)); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "ogbench_quick.golden", buf.Bytes())
+}
+
+// TestQuickReportJSONGolden pins the canonical JSON encoding of the same
+// run (`ogbench -quick -format json`), so the machine-readable schema is
+// as regression-guarded as the text layout.
+func TestQuickReportJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (JSONRenderer{}).Render(&buf, quickReports(t)); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "ogbench_quick_json.golden", buf.Bytes())
+}
+
+// TestReportJSONRoundTrip is the codec property over every experiment in
+// Experiments(): decode(encode(reports)) reproduces every report exactly
+// (Equal), re-encoding the decoded value reproduces the canonical bytes,
+// and per-report encodings are individually stable.
+func TestReportJSONRoundTrip(t *testing.T) {
+	reports := quickReports(t)
+	if want := len(Experiments()); len(reports) != want {
+		t.Fatalf("RunAll returned %d reports, want %d (one per experiment)", len(reports), want)
+	}
+	blob, err := EncodeReports(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeReports(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != len(reports) {
+		t.Fatalf("decoded %d reports, want %d", len(decoded), len(reports))
+	}
+	for i, r := range reports {
+		d := decoded[i]
+		if !d.Equal(r) {
+			t.Errorf("%s: decode(encode) != original", r.ID)
+		}
+		if diffs := r.Diff(d); len(diffs) != 0 {
+			t.Errorf("%s: Diff(decoded) reports %d cells on identical reports: %+v", r.ID, len(diffs), diffs[0])
+		}
+		b1, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		b2, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("%s: canonical bytes unstable across a round trip", r.ID)
+		}
+	}
+	reblob, err := EncodeReports(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, reblob) {
+		t.Fatal("canonical report-sequence bytes unstable across a round trip")
+	}
+}
+
+// TestExperimentDescriptorsMatchReports: the descriptor metadata shown
+// without running anything (IDs, titles) must match what the built
+// reports carry, and every report must declare a unit.
+func TestExperimentDescriptorsMatchReports(t *testing.T) {
+	reports := quickReports(t)
+	for i, e := range Experiments() {
+		r := reports[i]
+		if r.ID != e.ID {
+			t.Errorf("experiment %d: descriptor ID %q, report ID %q", i, e.ID, r.ID)
+		}
+		if r.Title != e.Title {
+			t.Errorf("%s: descriptor title %q, report title %q", e.ID, e.Title, r.Title)
+		}
+		if r.Unit == "" {
+			t.Errorf("%s: report declares no unit", e.ID)
+		}
+		if r.Units != nil && len(r.Units) != len(r.Columns) {
+			t.Errorf("%s: %d per-column units for %d columns", e.ID, len(r.Units), len(r.Columns))
+		}
+	}
 }

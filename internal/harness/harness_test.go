@@ -1,11 +1,16 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"opgate/internal/power"
 )
+
+// testCtx: harness tests never cancel mid-run (cancellation has its own
+// coverage in parallel_test.go and golden_test.go).
+var testCtx = context.Background()
 
 // newQuickSuite shares one train-input suite across the harness tests
 // (experiments cache inside the suite).
@@ -28,7 +33,7 @@ func TestTable1PaperIntegers(t *testing.T) {
 }
 
 func TestTable2MentionsMachine(t *testing.T) {
-	txt := quickSuite.Table2()
+	txt := quickSuite.Table2().Format()
 	for _, want := range []string{"64KB", "256KB", "96", "gshare 64K"} {
 		if !strings.Contains(txt, want) {
 			t.Errorf("Table2 missing %q", want)
@@ -37,7 +42,7 @@ func TestTable2MentionsMachine(t *testing.T) {
 }
 
 func TestTable3RowsSumToOne(t *testing.T) {
-	rep, err := quickSuite.Table3()
+	rep, err := quickSuite.Table3(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +66,7 @@ func TestTable3RowsSumToOne(t *testing.T) {
 // TestFigure2Shape: the paper's claim — proposed VRP finds more narrow
 // instructions; its 64-bit share is strictly lower.
 func TestFigure2Shape(t *testing.T) {
-	rep, err := quickSuite.Figure2()
+	rep, err := quickSuite.Figure2(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +80,7 @@ func TestFigure2Shape(t *testing.T) {
 // TestFigure3Shape: datapath structures save the most; LSQ and D-cache the
 // least; processor total is positive but below the structure peaks.
 func TestFigure3Shape(t *testing.T) {
-	rep, err := quickSuite.Figure3()
+	rep, err := quickSuite.Figure3(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +103,7 @@ func TestFigure3Shape(t *testing.T) {
 // TestFigure4MostPointsFiltered: the paper filters ~88%% of profiled
 // points as no-benefit.
 func TestFigure4MostPointsFiltered(t *testing.T) {
-	rep, err := quickSuite.Figure4(50)
+	rep, err := quickSuite.Figure4(testCtx, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +120,7 @@ func TestFigure4MostPointsFiltered(t *testing.T) {
 // TestFigure6GuardsBelowSpecialized: guard comparisons stay well below
 // the specialized-instruction share (the paper's 1%% vs 15%%).
 func TestFigure6GuardsBelowSpecialized(t *testing.T) {
-	rep, err := quickSuite.Figure6(50)
+	rep, err := quickSuite.Figure6(testCtx, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +135,7 @@ func TestFigure6GuardsBelowSpecialized(t *testing.T) {
 // benchmark (the paper's Fig. 8 ordering), and thresholds behave
 // monotonically on the average.
 func TestFigure8VRSBeatsVRP(t *testing.T) {
-	rep, err := quickSuite.Figure8()
+	rep, err := quickSuite.Figure8(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +152,7 @@ func TestFigure8VRSBeatsVRP(t *testing.T) {
 // TestFigure11Ordering: the headline result — VRS ED² beats VRP ED² on
 // average.
 func TestFigure11Ordering(t *testing.T) {
-	rep, err := quickSuite.Figure11()
+	rep, err := quickSuite.Figure11(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +169,7 @@ func TestFigure11Ordering(t *testing.T) {
 // TestFigure12AddressPeak: the data-size distribution must show the
 // paper's 5-byte peak (memory addresses) and a dominant 1-byte bar.
 func TestFigure12AddressPeak(t *testing.T) {
-	rep, err := quickSuite.Figure12()
+	rep, err := quickSuite.Figure12(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +190,7 @@ func TestFigure12AddressPeak(t *testing.T) {
 // TestFigure15CombinedWins: the paper's final ordering — the cooperative
 // schemes beat both hardware-only and software-only on average.
 func TestFigure15CombinedWins(t *testing.T) {
-	rep, err := quickSuite.Figure15(50)
+	rep, err := quickSuite.Figure15(testCtx, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +213,7 @@ func TestFigure15CombinedWins(t *testing.T) {
 // TestFigure13HardwareSavings: both hardware schemes save energy on every
 // benchmark.
 func TestFigure13HardwareSavings(t *testing.T) {
-	rep, err := quickSuite.Figure13()
+	rep, err := quickSuite.Figure13(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +251,7 @@ func TestGatingModeSweepConsistency(t *testing.T) {
 // TestAblationOrdering: richer opcode sets and more analysis machinery
 // can only help.
 func TestAblationOrdering(t *testing.T) {
-	rep, err := quickSuite.AblationOpcodeSets()
+	rep, err := quickSuite.AblationOpcodeSets(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +266,7 @@ func TestAblationOrdering(t *testing.T) {
 		t.Errorf("paper set (%.3f) captures under 70%% of ideal (%.3f)", paper, ideal)
 	}
 
-	rep2, err := quickSuite.AblationAnalysis()
+	rep2, err := quickSuite.AblationAnalysis(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}

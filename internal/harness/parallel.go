@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -49,15 +50,30 @@ func (s *Suite) workers() int {
 // worker pool, and returns the per-benchmark results in suite order (so
 // report assembly — including float accumulation — is deterministic
 // regardless of completion order). The first error in suite order wins.
-func mapNames[T any](s *Suite, fn func(name string) (T, error)) ([]T, error) {
+//
+// Cancelling ctx stops scheduling further per-workload work — including
+// while blocked waiting for a pool slot — and returns the context's
+// error once in-flight workloads have drained.
+func mapNames[T any](ctx context.Context, s *Suite, fn func(name string) (T, error)) ([]T, error) {
 	names := s.Names()
 	out := make([]T, len(names))
 	errs := make([]error, len(names))
 	sem := make(chan struct{}, s.workers())
 	var wg sync.WaitGroup
+	var canceled error
+schedule:
 	for i, name := range names {
+		if err := ctx.Err(); err != nil {
+			canceled = err
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			canceled = ctx.Err()
+			break schedule
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, name string) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -65,6 +81,9 @@ func mapNames[T any](s *Suite, fn func(name string) (T, error)) ([]T, error) {
 		}(i, name)
 	}
 	wg.Wait()
+	if canceled != nil {
+		return nil, canceled
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -22,11 +22,11 @@ func TestParallelSuiteDeterministic(t *testing.T) {
 		t.Errorf("Table1 differs between sequential and parallel runs:\n--- sequential\n%s\n--- parallel\n%s", seqT1, parT1)
 	}
 
-	seqF3, err := seq.Figure3()
+	seqF3, err := seq.Figure3(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parF3, err := par.Figure3()
+	parF3, err := par.Figure3(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,46 +1,104 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"slices"
 	"strings"
+	"sync/atomic"
 )
 
-// Report is a regenerated table or figure: labelled rows of named numeric
-// columns, with a formatter that renders it the way the paper lays it out.
+// Schema identifiers carried by the canonical JSON encodings. Bump the
+// version when a field changes meaning; decoders refuse mismatched
+// schemas instead of guessing.
+const (
+	// ReportSchema tags one encoded report.
+	ReportSchema = "opgate.report/v1"
+	// ReportSetSchema tags an encoded report sequence (one experiment run).
+	ReportSetSchema = "opgate.reports/v1"
+)
+
+// Report is a regenerated table or figure as structured data: labelled
+// rows of named numeric columns (or, for parameter listings, freeform
+// text lines), plus the unit metadata machine consumers need to interpret
+// the cells. Rendering is pluggable — TextRenderer reproduces the paper's
+// aligned-table layout, JSONRenderer the canonical machine-readable form.
 type Report struct {
-	ID      string // "table1", "fig8", ...
-	Title   string
+	ID    string // "table1", "fig8", ...
+	Title string
+
+	// Unit names what the cells measure: "fraction" (of 1.0; rendered as
+	// a percentage when Percent is set), "nJ", "count", or "text" for
+	// freeform listings. Units, when non-nil, overrides Unit per column
+	// (mixed reports like fig4: a count column among fractions).
+	Unit  string
+	Units []string
+
 	Columns []string
 	Rows    []Row
+
+	// Text carries freeform listing lines (table2's machine parameters);
+	// a report has either Rows or Text, never both.
+	Text []string
+
 	// Note records any reproduction caveat (documented in EXPERIMENTS.md).
 	Note string
 	// Percent renders values as percentages.
 	Percent bool
+
+	// idx is the lazily built (row, column) lookup index; it never
+	// travels through the JSON codec.
+	idx atomic.Pointer[reportIndex]
 }
 
 // Row is one labelled series of values.
 type Row struct {
-	Label  string
-	Values []float64
+	Label  string    `json:"label"`
+	Values []float64 `json:"values,omitempty"`
 }
 
-// Value returns the cell (rowLabel, column), for tests.
-func (r *Report) Value(rowLabel, column string) (float64, bool) {
-	ci := -1
+// reportIndex maps labels to positions so cell lookup is O(1) after a
+// single O(rows+cols) build.
+type reportIndex struct {
+	cols map[string]int
+	rows map[string]int
+}
+
+// index returns the lookup index, building it exactly once per report
+// (concurrent first calls may both build; the maps are identical).
+func (r *Report) index() *reportIndex {
+	if idx := r.idx.Load(); idx != nil {
+		return idx
+	}
+	idx := &reportIndex{
+		cols: make(map[string]int, len(r.Columns)),
+		rows: make(map[string]int, len(r.Rows)),
+	}
 	for i, c := range r.Columns {
-		if c == column {
-			ci = i
+		idx.cols[c] = i // later duplicate wins, as the linear scan did
+	}
+	for i, row := range r.Rows {
+		if _, ok := idx.rows[row.Label]; !ok {
+			idx.rows[row.Label] = i // first duplicate wins, as the scan did
 		}
 	}
-	if ci < 0 {
+	r.idx.Store(idx)
+	return idx
+}
+
+// Value returns the cell (rowLabel, column).
+func (r *Report) Value(rowLabel, column string) (float64, bool) {
+	idx := r.index()
+	ci, ok := idx.cols[column]
+	if !ok {
 		return 0, false
 	}
-	for _, row := range r.Rows {
-		if row.Label == rowLabel && ci < len(row.Values) {
-			return row.Values[ci], true
-		}
+	ri, ok := idx.rows[rowLabel]
+	if !ok || ci >= len(r.Rows[ri].Values) {
+		return 0, false
 	}
-	return 0, false
+	return r.Rows[ri].Values[ci], true
 }
 
 // MustValue is Value or panic (bench/test convenience).
@@ -52,10 +110,193 @@ func (r *Report) MustValue(rowLabel, column string) float64 {
 	return v
 }
 
-// Format renders the report as an aligned text table.
+// Equal reports whether two reports carry identical data (the JSON
+// round-trip invariant; lookup indexes are ignored).
+func (r *Report) Equal(o *Report) bool {
+	if r.ID != o.ID || r.Title != o.Title || r.Unit != o.Unit ||
+		r.Note != o.Note || r.Percent != o.Percent {
+		return false
+	}
+	if !slices.Equal(r.Units, o.Units) || !slices.Equal(r.Columns, o.Columns) ||
+		!slices.Equal(r.Text, o.Text) || len(r.Rows) != len(o.Rows) {
+		return false
+	}
+	for i := range r.Rows {
+		if r.Rows[i].Label != o.Rows[i].Label ||
+			!slices.Equal(r.Rows[i].Values, o.Rows[i].Values) {
+			return false
+		}
+	}
+	return true
+}
+
+// CellDiff is one difference between two reports: a cell whose values
+// disagree, or a cell present on only one side.
+type CellDiff struct {
+	Row    string  `json:"row"`
+	Column string  `json:"column"`
+	A      float64 `json:"a"`
+	B      float64 `json:"b"`
+	// OnlyIn is "a" or "b" when the cell exists on one side only
+	// (structural drift: a row or column appeared or vanished).
+	OnlyIn string `json:"only_in,omitempty"`
+}
+
+// Diff compares two reports cell-by-cell for regression tooling: every
+// differing cell, in r's row-major order, then cells only the other
+// report has. An empty result means every shared-and-unshared cell agrees.
+func (r *Report) Diff(o *Report) []CellDiff {
+	var ds []CellDiff
+	for _, row := range r.Rows {
+		for ci, col := range r.Columns {
+			var a float64
+			if ci < len(row.Values) {
+				a = row.Values[ci]
+			}
+			b, ok := o.Value(row.Label, col)
+			switch {
+			case !ok:
+				ds = append(ds, CellDiff{Row: row.Label, Column: col, A: a, OnlyIn: "a"})
+			case a != b:
+				ds = append(ds, CellDiff{Row: row.Label, Column: col, A: a, B: b})
+			}
+		}
+	}
+	for _, row := range o.Rows {
+		for ci, col := range o.Columns {
+			if _, ok := r.Value(row.Label, col); ok {
+				continue
+			}
+			var b float64
+			if ci < len(row.Values) {
+				b = row.Values[ci]
+			}
+			ds = append(ds, CellDiff{Row: row.Label, Column: col, B: b, OnlyIn: "b"})
+		}
+	}
+	return ds
+}
+
+// reportJSON is the canonical wire form: fixed field order, schema first.
+type reportJSON struct {
+	Schema  string   `json:"schema"`
+	ID      string   `json:"id"`
+	Title   string   `json:"title"`
+	Unit    string   `json:"unit,omitempty"`
+	Units   []string `json:"units,omitempty"`
+	Percent bool     `json:"percent,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+	Rows    []Row    `json:"rows,omitempty"`
+	Text    []string `json:"text,omitempty"`
+	Note    string   `json:"note,omitempty"`
+}
+
+// MarshalJSON encodes the report in its canonical form: deterministic
+// field order and float formatting, so encode(decode(b)) == b.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reportJSON{
+		Schema: ReportSchema, ID: r.ID, Title: r.Title,
+		Unit: r.Unit, Units: r.Units, Percent: r.Percent,
+		Columns: r.Columns, Rows: r.Rows, Text: r.Text, Note: r.Note,
+	})
+}
+
+// UnmarshalJSON decodes a canonical report, refusing unknown schemas.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var j reportJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Schema != ReportSchema {
+		return fmt.Errorf("harness: report schema %q, want %q", j.Schema, ReportSchema)
+	}
+	r.ID, r.Title, r.Unit, r.Units = j.ID, j.Title, j.Unit, j.Units
+	r.Percent, r.Columns, r.Rows = j.Percent, j.Columns, j.Rows
+	r.Text, r.Note = j.Text, j.Note
+	r.idx.Store(nil) // drop any index built for previous contents
+	return nil
+}
+
+// reportSetJSON is the envelope around one experiment run's reports.
+type reportSetJSON struct {
+	Schema  string    `json:"schema"`
+	Reports []*Report `json:"reports"`
+}
+
+// EncodeReports renders a report sequence in the canonical
+// machine-readable form: a one-line JSON envelope (schema + reports in
+// run order) terminated by a newline. The bytes are stable — encoding the
+// decoded value reproduces them exactly — so they can be content-addressed
+// and diffed.
+func EncodeReports(reports []*Report) ([]byte, error) {
+	b, err := json.Marshal(reportSetJSON{Schema: ReportSetSchema, Reports: reports})
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeReports parses a canonical report-sequence encoding.
+func DecodeReports(data []byte) ([]*Report, error) {
+	var env reportSetJSON
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("harness: decode reports: %w", err)
+	}
+	if env.Schema != ReportSetSchema {
+		return nil, fmt.Errorf("harness: report set schema %q, want %q", env.Schema, ReportSetSchema)
+	}
+	return env.Reports, nil
+}
+
+// Renderer turns a structured report sequence into a byte stream.
+type Renderer interface {
+	Render(w io.Writer, reports []*Report) error
+}
+
+// TextRenderer reproduces the classic aligned-table layout, byte-for-byte
+// identical to the pre-structured pipeline (one formatted report per
+// experiment, each followed by a blank line).
+type TextRenderer struct{}
+
+// Render writes each report's text form, separated by blank lines.
+func (TextRenderer) Render(w io.Writer, reports []*Report) error {
+	for _, r := range reports {
+		if _, err := fmt.Fprintln(w, r.Format()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONRenderer emits the canonical JSON encoding (EncodeReports).
+type JSONRenderer struct{}
+
+// Render writes the canonical JSON envelope for the report sequence.
+func (JSONRenderer) Render(w io.Writer, reports []*Report) error {
+	b, err := EncodeReports(reports)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// Format renders the report as an aligned text table (or, for freeform
+// reports, the header plus its text lines).
 func (r *Report) Format() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+
+	if len(r.Text) > 0 {
+		for _, line := range r.Text {
+			sb.WriteString(line)
+			sb.WriteByte('\n')
+		}
+		if r.Note != "" {
+			fmt.Fprintf(&sb, "note: %s\n", r.Note)
+		}
+		return sb.String()
+	}
 
 	labelW := 10
 	for _, row := range r.Rows {

@@ -1,0 +1,138 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		ID: "x", Title: "T", Unit: "fraction",
+		Columns: []string{"a", "b"},
+		Rows: []Row{
+			{Label: "r1", Values: []float64{0.5, 0.25}},
+			{Label: "r2", Values: []float64{1, 2}},
+		},
+		Percent: true,
+	}
+}
+
+// TestReportValueIndex: the index-backed lookup matches the old linear
+// scan's semantics — present cells, missing rows/columns, and rows with
+// fewer values than columns.
+func TestReportValueIndex(t *testing.T) {
+	rep := sampleReport()
+	rep.Rows = append(rep.Rows, Row{Label: "short", Values: []float64{7}})
+	if v, ok := rep.Value("r2", "b"); !ok || v != 2 {
+		t.Errorf("Value(r2,b) = %v,%v", v, ok)
+	}
+	if _, ok := rep.Value("r1", "nope"); ok {
+		t.Error("Value found a missing column")
+	}
+	if _, ok := rep.Value("nope", "a"); ok {
+		t.Error("Value found a missing row")
+	}
+	if v, ok := rep.Value("short", "a"); !ok || v != 7 {
+		t.Errorf("Value(short,a) = %v,%v", v, ok)
+	}
+	if _, ok := rep.Value("short", "b"); ok {
+		t.Error("Value found a cell past the row's values")
+	}
+	// Repeated lookups hit the same built index.
+	if v := rep.MustValue("r1", "a"); v != 0.5 {
+		t.Errorf("MustValue(r1,a) = %v", v)
+	}
+}
+
+// TestReportDiff: differing cells, and structural drift in both
+// directions, are reported; identical reports diff empty.
+func TestReportDiff(t *testing.T) {
+	a := sampleReport()
+	if ds := a.Diff(sampleReport()); len(ds) != 0 {
+		t.Fatalf("identical reports diff: %+v", ds)
+	}
+	b := sampleReport()
+	b.Rows = b.Rows[:1]                                                // dropped row r2
+	b.Rows = append(b.Rows, Row{Label: "r3", Values: []float64{9, 9}}) // new row
+	ds := a.Diff(b)
+	var cells []string
+	for _, d := range ds {
+		cells = append(cells, d.Row+"/"+d.Column+"/"+d.OnlyIn)
+	}
+	got := strings.Join(cells, " ")
+	want := "r2/a/a r2/b/a r3/a/b r3/b/b"
+	if got != want {
+		t.Errorf("Diff cells = %q, want %q", got, want)
+	}
+	c := sampleReport()
+	c.Rows[0].Values[1] = 0.75
+	ds = a.Diff(c)
+	if len(ds) != 1 || ds[0].Row != "r1" || ds[0].Column != "b" || ds[0].A != 0.25 || ds[0].B != 0.75 || ds[0].OnlyIn != "" {
+		t.Errorf("changed-cell diff = %+v", ds)
+	}
+}
+
+// TestReportEqual: every field participates in equality.
+func TestReportEqual(t *testing.T) {
+	a := sampleReport()
+	if !a.Equal(sampleReport()) {
+		t.Fatal("identical reports unequal")
+	}
+	for name, mutate := range map[string]func(*Report){
+		"id":      func(r *Report) { r.ID = "y" },
+		"title":   func(r *Report) { r.Title = "U" },
+		"unit":    func(r *Report) { r.Unit = "nJ" },
+		"units":   func(r *Report) { r.Units = []string{"count", "fraction"} },
+		"percent": func(r *Report) { r.Percent = false },
+		"note":    func(r *Report) { r.Note = "n" },
+		"columns": func(r *Report) { r.Columns[0] = "c" },
+		"rows":    func(r *Report) { r.Rows[0].Values[0] = 9 },
+		"text":    func(r *Report) { r.Text = []string{"line"} },
+	} {
+		b := sampleReport()
+		mutate(b)
+		if a.Equal(b) {
+			t.Errorf("%s mutation not detected by Equal", name)
+		}
+	}
+}
+
+// TestReportSchemaRejection: the codec refuses wrong or missing schemas
+// at both the report and the envelope level.
+func TestReportSchemaRejection(t *testing.T) {
+	var r Report
+	if err := json.Unmarshal([]byte(`{"schema":"opgate.report/v0","id":"x"}`), &r); err == nil {
+		t.Error("report decoder accepted a wrong schema")
+	}
+	if err := json.Unmarshal([]byte(`{"id":"x"}`), &r); err == nil {
+		t.Error("report decoder accepted a missing schema")
+	}
+	if _, err := DecodeReports([]byte(`{"schema":"nope","reports":[]}`)); err == nil {
+		t.Error("envelope decoder accepted a wrong schema")
+	}
+	if _, err := DecodeReports([]byte(`not json`)); err == nil {
+		t.Error("envelope decoder accepted junk")
+	}
+}
+
+// TestTextReportFormat: freeform reports render the header plus their
+// lines, and travel through the JSON codec like any other report.
+func TestTextReportFormat(t *testing.T) {
+	r := &Report{ID: "t", Title: "listing", Unit: "text", Text: []string{"alpha  1", "beta   2"}}
+	want := "=== t: listing ===\nalpha  1\nbeta   2\n"
+	if got := r.Format(); got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Report
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(r) || d.Format() != want {
+		t.Error("text report drifted through the JSON codec")
+	}
+}

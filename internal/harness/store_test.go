@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -25,8 +26,12 @@ func runAllWithStore(t *testing.T, st *store.Store) (*Suite, []byte) {
 	s := NewSuite(true)
 	s.Synthetics = []string{"syn:narrow/small/1"}
 	s.Store = st
+	reports, err := s.RunAll(context.Background(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	if err := s.RunAll(&buf, 50); err != nil {
+	if err := (TextRenderer{}).Render(&buf, reports); err != nil {
 		t.Fatal(err)
 	}
 	return s, buf.Bytes()
@@ -72,8 +77,12 @@ func TestStoreHitHonoursTraceBudget(t *testing.T) {
 	warm.Synthetics = []string{"syn:narrow/small/1"}
 	warm.Store = storeSuite(t, dir)
 	warm.TraceBudget = 1024 // far below any suite trace
+	reports, err := warm.RunAll(context.Background(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
-	if err := warm.RunAll(&buf, 50); err != nil {
+	if err := (TextRenderer{}).Render(&buf, reports); err != nil {
 		t.Fatal(err)
 	}
 	if warm.Emulations() == 0 {

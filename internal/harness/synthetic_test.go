@@ -46,11 +46,11 @@ func TestSyntheticSuiteFusedMatchesUnfused(t *testing.T) {
 		id  string
 		gen func(s *Suite) (*Report, error)
 	}{
-		{"table3", func(s *Suite) (*Report, error) { return s.Table3() }},
-		{"fig2", func(s *Suite) (*Report, error) { return s.Figure2() }},
-		{"fig3", func(s *Suite) (*Report, error) { return s.Figure3() }},
-		{"fig8", func(s *Suite) (*Report, error) { return s.Figure8() }},
-		{"fig12", func(s *Suite) (*Report, error) { return s.Figure12() }},
+		{"table3", func(s *Suite) (*Report, error) { return s.Table3(testCtx) }},
+		{"fig2", func(s *Suite) (*Report, error) { return s.Figure2(testCtx) }},
+		{"fig3", func(s *Suite) (*Report, error) { return s.Figure3(testCtx) }},
+		{"fig8", func(s *Suite) (*Report, error) { return s.Figure8(testCtx) }},
+		{"fig12", func(s *Suite) (*Report, error) { return s.Figure12(testCtx) }},
 	}
 	for _, re := range reports {
 		rf, err := re.gen(fused)
@@ -76,7 +76,7 @@ func TestSyntheticSuiteFusedMatchesUnfused(t *testing.T) {
 // in the per-benchmark reports, with sane baseline results.
 func TestSyntheticRowsAppearInReports(t *testing.T) {
 	s := synthSuite()
-	r, err := s.Figure3()
+	r, err := s.Figure3(testCtx)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"opgate/internal/emu"
@@ -19,6 +20,7 @@ func (s *Suite) Table1() *Report {
 	rep := &Report{
 		ID:      "table1",
 		Title:   "Energy savings for ALU operations (nJ), source width (row) -> dest width (column)",
+		Unit:    "nJ",
 		Columns: names,
 	}
 	for i, src := range names {
@@ -27,45 +29,48 @@ func (s *Suite) Table1() *Report {
 	return rep
 }
 
-// Table2 renders the machine parameters the simulator implements.
-func (s *Suite) Table2() string {
+// Table2 reports the machine parameters the simulator implements, as a
+// freeform-text listing (the paper's Table 2 is prose, not a matrix).
+func (s *Suite) Table2() *Report {
 	c := s.Uarch
 	mem := c.Memory
-	return fmt.Sprintf(`=== table2: Machine parameters ===
-Fetch width              %d instructions
-I-cache                  %dKB, %d-way, %d-byte lines, %d-cycle hit
-Branch predictor         gshare %dK x 2-bit + bimodal %dK, chooser %dK, %d-bit history
-Decode/rename width      %d instructions
-Max in-flight            %d
-Retire width             %d instructions
-Functional units         %d intALU + %d int mul/div
-Issue width              %d, out-of-order, window based
-D-cache L1               %dKB, %d-way, %d-byte lines, %d-cycle hit
-L2                       %dKB, %d-way, %d-byte lines, %d-cycle hit; mem %d+%d cycles
-Physical registers       %d
-`,
-		c.FetchWidth,
-		mem.L1I.SizeBytes>>10, mem.L1I.Assoc, mem.L1I.LineBytes, mem.L1I.HitCycles,
-		c.Predictor.GshareEntries>>10, c.Predictor.BimodalEntries>>10,
-		c.Predictor.ChooserEntries>>10, c.Predictor.HistoryBits,
-		c.DecodeWidth, c.WindowSize, c.RetireWidth,
-		c.IntALUs, c.IntMulDiv, c.IssueWidth,
-		mem.L1D.SizeBytes>>10, mem.L1D.Assoc, mem.L1D.LineBytes, mem.L1D.HitCycles,
-		mem.L2.SizeBytes>>10, mem.L2.Assoc, mem.L2.LineBytes, mem.L2.HitCycles,
-		mem.MemFirstChunk, mem.MemInterChunk,
-		c.PhysRegs)
+	f := fmt.Sprintf
+	return &Report{
+		ID:    "table2",
+		Title: "Machine parameters",
+		Unit:  "text",
+		Text: []string{
+			f("Fetch width              %d instructions", c.FetchWidth),
+			f("I-cache                  %dKB, %d-way, %d-byte lines, %d-cycle hit",
+				mem.L1I.SizeBytes>>10, mem.L1I.Assoc, mem.L1I.LineBytes, mem.L1I.HitCycles),
+			f("Branch predictor         gshare %dK x 2-bit + bimodal %dK, chooser %dK, %d-bit history",
+				c.Predictor.GshareEntries>>10, c.Predictor.BimodalEntries>>10,
+				c.Predictor.ChooserEntries>>10, c.Predictor.HistoryBits),
+			f("Decode/rename width      %d instructions", c.DecodeWidth),
+			f("Max in-flight            %d", c.WindowSize),
+			f("Retire width             %d instructions", c.RetireWidth),
+			f("Functional units         %d intALU + %d int mul/div", c.IntALUs, c.IntMulDiv),
+			f("Issue width              %d, out-of-order, window based", c.IssueWidth),
+			f("D-cache L1               %dKB, %d-way, %d-byte lines, %d-cycle hit",
+				mem.L1D.SizeBytes>>10, mem.L1D.Assoc, mem.L1D.LineBytes, mem.L1D.HitCycles),
+			f("L2                       %dKB, %d-way, %d-byte lines, %d-cycle hit; mem %d+%d cycles",
+				mem.L2.SizeBytes>>10, mem.L2.Assoc, mem.L2.LineBytes, mem.L2.HitCycles,
+				mem.MemFirstChunk, mem.MemInterChunk),
+			f("Physical registers       %d", c.PhysRegs),
+		},
+	}
 }
 
 // Table3 regenerates the distribution of operation types: for each class,
 // its share of dynamic instructions and the width split within the class,
 // measured on the proposed-VRP binaries across the suite.
-func (s *Suite) Table3() (*Report, error) {
+func (s *Suite) Table3(ctx context.Context) (*Report, error) {
 	type tally struct {
 		perClass   [isa.NumClasses][4]int64
 		classTotal [isa.NumClasses]int64
 		total      int64
 	}
-	tallies, err := mapNames(s, func(name string) (*tally, error) {
+	tallies, err := mapNames(ctx, s, func(name string) (*tally, error) {
 		t := new(tally)
 		err := s.recordsOf(name, "vrp", emu.RecFunc(func(b emu.RecBatch) {
 			for i, opb := range b.Op {
@@ -105,6 +110,7 @@ func (s *Suite) Table3() (*Report, error) {
 	rep := &Report{
 		ID:      "table3",
 		Title:   "Distribution of operation types (dynamic, after proposed VRP)",
+		Unit:    "fraction",
 		Columns: []string{"% of instrs", "64b", "32b", "16b", "8b"},
 		Percent: true,
 	}

@@ -185,6 +185,17 @@ func SignificantBytes(v int64) int {
 	return k
 }
 
+// Wider returns the operand with the most significant bytes (a on ties).
+// Dual-operand structures (instruction queue, functional units) are gated
+// by their widest operand; the power model consumes operands only through
+// SignificantBytes/SizeClass, so moving the wider value models that.
+func Wider(a, b int64) int64 {
+	if SignificantBytes(a) >= SignificantBytes(b) {
+		return a
+	}
+	return b
+}
+
 // SizeClass quantises a value's significant bytes to the 2-bit encoding
 // {1, 2, 5, 8} chosen in §4.6 from the SpecInt size distribution (the
 // 5-byte class exists because memory addresses are 33–40 bits).

@@ -72,18 +72,21 @@ func TraceKey(workload, variant, inputClass string, identity Hash) Key {
 	return deriveKey("trace/v1", workload, variant, inputClass, identity.String())
 }
 
-// ReportKey addresses one rendered experiment report: the experiment ID
-// (the mode set it simulates is part of its definition), the evaluation
-// input class, the VRS threshold, the workload list (paper kernels are
-// implicit; synthetics are listed, carrying their generator seeds), and a
-// code identity. A report depends on the whole pipeline — kernels,
-// optimizer, timing model, power coefficients, formatters — so the
-// identity should cover all of it: SelfIdentity (a hash of the running
-// executable) makes any recompile derive fresh addresses, keeping stale
-// reports unreachable exactly like stale traces.
+// ReportKey addresses one experiment report sequence — stored in its
+// structured canonical-JSON form (harness.EncodeReports) and rendered at
+// read time — keyed by the experiment ID (the mode set it simulates is
+// part of its definition), the evaluation input class, the VRS threshold,
+// the workload list (paper kernels are implicit; synthetics are listed,
+// carrying their generator seeds), and a code identity. A report depends
+// on the whole pipeline — kernels, optimizer, timing model, power
+// coefficients, schema — so the identity should cover all of it:
+// SelfIdentity (a hash of the running executable) makes any recompile
+// derive fresh addresses, keeping stale reports unreachable exactly like
+// stale traces. v2 marks the switch from pre-rendered text blobs to the
+// structured encoding.
 func ReportKey(experiment string, quick bool, threshold float64, synthetics []string, identity Hash) Key {
 	parts := make([]string, 0, 5+len(synthetics))
-	parts = append(parts, "report/v1", experiment,
+	parts = append(parts, "report/v2", experiment,
 		fmt.Sprintf("quick=%t", quick), fmt.Sprintf("threshold=%g", threshold),
 		identity.String())
 	parts = append(parts, synthetics...)

@@ -178,7 +178,7 @@ func NewMulti(cfg Config, params power.Params, modes []power.GatingMode) (*Sim, 
 		issued:        make([]int8, ringSize),
 		issueEpoch:    make([]int64, ringSize),
 		windowRing:    make([]int64, cfg.WindowSize),
-		physRing:      make([]int64, maxInt(1, cfg.PhysRegs-isa.NumRegs)),
+		physRing:      make([]int64, max(1, cfg.PhysRegs-isa.NumRegs)),
 		aluFree:       make([]int64, cfg.IntALUs),
 		mulFree:       make([]int64, cfg.IntMulDiv),
 		lastFetchLine: -1,
@@ -369,7 +369,7 @@ func (s *Sim) consume(ev *emu.Event) {
 
 	// --- Energy: window, operands, execution ------------------------------
 	w := in.Width.Bytes()
-	s.bank.accessValue(power.IQ, w, wider(ev.SrcA, ev.SrcB))
+	s.bank.accessValue(power.IQ, w, power.Wider(ev.SrcA, ev.SrcB))
 	s.bank.accessFixed(power.ROB)
 	for k := 0; k < n; k++ {
 		if uses[k] == isa.ZeroReg {
@@ -388,7 +388,7 @@ func (s *Sim) consume(ev *emu.Event) {
 	}
 	if class := isa.ClassOf(in.Op); class != isa.ClassBranch && class != isa.ClassNone &&
 		class != isa.ClassLoad && class != isa.ClassStore && in.Op != isa.OpHALT {
-		s.bank.accessValue(power.FU, w, wider(ev.SrcA, ev.SrcB))
+		s.bank.accessValue(power.FU, w, power.Wider(ev.SrcA, ev.SrcB))
 	}
 
 	// --- Branch resolution -------------------------------------------------
@@ -478,18 +478,4 @@ func (s *Sim) FinishAll() []*Result {
 		}
 	}
 	return s.results
-}
-
-func wider(a, b int64) int64 {
-	if power.SignificantBytes(a) >= power.SignificantBytes(b) {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,235 @@
+package opgate
+
+import (
+	"context"
+	"fmt"
+
+	"opgate/internal/harness"
+	"opgate/internal/store"
+	"opgate/internal/workload"
+)
+
+// DefaultThreshold is the paper's headline VRS cost threshold (nJ) —
+// the default for sessions that do not set WithThreshold.
+const DefaultThreshold = 50
+
+// Session is the single programmatic entry point to the experiment
+// pipeline: one configured evaluation envelope (input class, workload
+// set, worker pool, persistent store) over the shared memoized suite
+// that makes repeated experiments incremental. Construct it with
+// functional options and drive it with Run/RunAll; results are
+// structured Reports, rendered by any Renderer.
+//
+//	sess, _ := opgate.NewSession(opgate.WithQuick(true))
+//	reports, _ := sess.RunAll(ctx)
+//	opgate.TextRenderer{}.Render(os.Stdout, reports)
+//
+// A Session is safe for concurrent use: the suite underneath memoizes
+// per-key with singleflight semantics, so concurrent runs coalesce
+// instead of duplicating work.
+type Session struct {
+	suite     *harness.Suite
+	threshold float64
+}
+
+// Option configures a Session at construction.
+type Option func(*Session) error
+
+// NewSession builds a session with the paper's machine parameters,
+// evaluating on ref inputs at the default VRS threshold unless options
+// say otherwise.
+func NewSession(opts ...Option) (*Session, error) {
+	s := &Session{suite: harness.NewSuite(false), threshold: DefaultThreshold}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, fmt.Errorf("opgate: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// WithQuick selects the train inputs for evaluation runs, trimming
+// run time; the default (false) evaluates on ref inputs like the paper.
+func WithQuick(quick bool) Option {
+	return func(s *Session) error { s.suite.Quick = quick; return nil }
+}
+
+// WithWorkers bounds the per-workload fan-out of the experiment drivers;
+// 0 means GOMAXPROCS, 1 reproduces a strictly sequential run.
+func WithWorkers(n int) Option {
+	return func(s *Session) error {
+		if n < 0 {
+			return fmt.Errorf("workers %d: must be >= 0", n)
+		}
+		s.suite.Workers = n
+		return nil
+	}
+}
+
+// WithThreshold sets the session's default VRS specialization threshold
+// (the paper sweeps 110..30 nJ); per-run AtThreshold overrides it.
+func WithThreshold(nj float64) Option {
+	return func(s *Session) error {
+		if nj <= 0 {
+			return fmt.Errorf("threshold %g: must be > 0", nj)
+		}
+		s.threshold = nj
+		return nil
+	}
+}
+
+// WithTraceBudget caps the packed-trace bytes cached per program variant;
+// <= 0 means the emulator default. Over-budget variants fall back to live
+// emulation — the budget never affects results, only caching.
+func WithTraceBudget(bytes int64) Option {
+	return func(s *Session) error { s.suite.TraceBudget = bytes; return nil }
+}
+
+// WithSynthetics appends generated workloads — registry names like
+// "syn:narrow/small/7", typically from ExpandSynthetics — to the paper's
+// eight benchmarks in every experiment. Unknown names fail construction.
+func WithSynthetics(names ...string) Option {
+	return func(s *Session) error {
+		for _, name := range names {
+			if _, err := workload.ByName(name); err != nil {
+				return err
+			}
+		}
+		s.suite.Synthetics = append(s.suite.Synthetics, names...)
+		return nil
+	}
+}
+
+// WithStore attaches a persistent content-addressed store (OpenStore):
+// packed traces and reports survive the process, so warm sessions
+// re-emulate nothing they have already seen.
+func WithStore(st *Store) Option {
+	return func(s *Session) error {
+		if st == nil {
+			return fmt.Errorf("WithStore: nil store")
+		}
+		s.suite.Store = st
+		return nil
+	}
+}
+
+// WithStoreDir is WithStore over a store opened (or created) at dir with
+// a byte budget (0 = unlimited).
+func WithStoreDir(dir string, limitBytes int64) Option {
+	return func(s *Session) error {
+		st, err := store.Open(dir, limitBytes)
+		if err != nil {
+			return err
+		}
+		s.suite.Store = st
+		return nil
+	}
+}
+
+// RunOption adjusts one Run/RunAll/ReportKey call.
+type RunOption func(*runParams)
+
+type runParams struct{ threshold float64 }
+
+// AtThreshold overrides the session's VRS threshold for one call.
+func AtThreshold(nj float64) RunOption {
+	return func(p *runParams) { p.threshold = nj }
+}
+
+func (s *Session) params(opts []RunOption) (runParams, error) {
+	p := runParams{threshold: s.threshold}
+	for _, opt := range opts {
+		opt(&p)
+	}
+	// AtThreshold is the unvalidated back door around WithThreshold's
+	// check; hold it to the same rule.
+	if p.threshold <= 0 {
+		return p, fmt.Errorf("opgate: threshold %g: must be > 0", p.threshold)
+	}
+	return p, nil
+}
+
+// ExperimentInfo describes one runnable experiment.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// Experiments lists every experiment in the paper's presentation order.
+func Experiments() []ExperimentInfo {
+	exps := harness.Experiments()
+	infos := make([]ExperimentInfo, len(exps))
+	for i, e := range exps {
+		infos[i] = ExperimentInfo{ID: e.ID, Title: e.Title}
+	}
+	return infos
+}
+
+// Experiments lists the experiments this session can run.
+func (s *Session) Experiments() []ExperimentInfo { return Experiments() }
+
+// Run regenerates one experiment as a structured report. Cancelling ctx
+// stops scheduling per-workload work and returns the context's error.
+func (s *Session) Run(ctx context.Context, id string, opts ...RunOption) (*Report, error) {
+	p, err := s.params(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.suite.RunExperiment(ctx, id, p.threshold)
+}
+
+// RunAll regenerates every experiment in order — the sequence behind
+// `ogbench -experiment all`.
+func (s *Session) RunAll(ctx context.Context, opts ...RunOption) ([]*Report, error) {
+	p, err := s.params(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.suite.RunAll(ctx, p.threshold)
+}
+
+// ReportKey derives the content address a store files this session's
+// report sequence under for one experiment ID (or "all"): the experiment,
+// input class, threshold, workload set and the running executable's
+// identity hash, so a rebuilt binary can never serve stale reports. An
+// invalid per-call threshold keys an address no Run will ever fill.
+func (s *Session) ReportKey(id string, opts ...RunOption) string {
+	p := runParams{threshold: s.threshold}
+	for _, opt := range opts {
+		opt(&p)
+	}
+	return string(store.ReportKey(id, s.suite.Quick, p.threshold,
+		s.suite.Synthetics, store.SelfIdentity()))
+}
+
+// Emulations reports how many functional emulations the session has
+// performed (the warm-store probe: zero on a fully warm run).
+func (s *Session) Emulations() int64 { return s.suite.Emulations() }
+
+// Threshold returns the session's default VRS threshold.
+func (s *Session) Threshold() float64 { return s.threshold }
+
+// Synthetics returns the registered synthetic workload names.
+func (s *Session) Synthetics() []string {
+	return append([]string(nil), s.suite.Synthetics...)
+}
+
+// StoreStats returns the attached store's counters; ok is false when the
+// session runs without a store.
+func (s *Session) StoreStats() (stats StoreStats, ok bool) {
+	if s.suite.Store == nil {
+		return StoreStats{}, false
+	}
+	return s.suite.Store.Stats(), true
+}
+
+// ExpandSynthetics expands a synthetic-workload spec — "all" (the curated
+// set), a comma-separated family list, or exact "syn:family/class/seed"
+// names — into validated registry names for WithSynthetics. seedClassSet
+// flags an explicitly supplied seed/class, which only family lists
+// consume; the combination is rejected otherwise rather than silently
+// ignored. ogbench's -synthetic flag and opgated's experiment requests
+// share this expansion.
+func ExpandSynthetics(spec string, seed uint64, class string, seedClassSet bool) ([]string, error) {
+	return harness.ExpandSynthetics(spec, seed, class, seedClassSet)
+}

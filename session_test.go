@@ -1,0 +1,96 @@
+package opgate
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"opgate/internal/store"
+)
+
+// TestSessionOptionValidation: bad options fail construction with a
+// descriptive error instead of producing a half-configured session.
+func TestSessionOptionValidation(t *testing.T) {
+	for name, opt := range map[string]Option{
+		"negative-workers":  WithWorkers(-1),
+		"zero-threshold":    WithThreshold(0),
+		"unknown-synthetic": WithSynthetics("syn:nosuchfamily/small/1"),
+		"nil-store":         WithStore(nil),
+	} {
+		if _, err := NewSession(opt); err == nil {
+			t.Errorf("%s: NewSession accepted an invalid option", name)
+		}
+	}
+	if _, err := NewSession(WithQuick(true), WithWorkers(2), WithThreshold(70),
+		WithTraceBudget(1<<20), WithSynthetics("syn:narrow/small/1")); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+// TestSessionRunValidatesThreshold: AtThreshold is held to the same rule
+// as WithThreshold — an invalid per-call override errors instead of
+// silently running a nonsense configuration.
+func TestSessionRunValidatesThreshold(t *testing.T) {
+	sess, err := NewSession(WithQuick(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Run(context.Background(), "table1", AtThreshold(-50)); err == nil ||
+		!strings.Contains(err.Error(), "threshold") {
+		t.Errorf("Run accepted a negative threshold (err=%v)", err)
+	}
+	if _, err := sess.RunAll(context.Background(), AtThreshold(0)); err == nil {
+		t.Error("RunAll accepted a zero threshold")
+	}
+}
+
+// TestSessionRunAndExperiments: the session front door lists and runs
+// experiments (the cheap in-memory ones keep this test fast) with
+// descriptor metadata matching the built reports.
+func TestSessionRunAndExperiments(t *testing.T) {
+	sess, err := NewSession(WithQuick(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := sess.Experiments()
+	if len(infos) == 0 || infos[0].ID != "table1" {
+		t.Fatalf("experiment listing broken: %+v", infos)
+	}
+	for _, id := range []string{"table1", "table2"} {
+		r, err := sess.Run(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ID != id || r.Title == "" || r.Unit == "" {
+			t.Errorf("%s: incomplete report metadata: %+v", id, r)
+		}
+	}
+	if _, err := sess.Run(context.Background(), "fig99"); err == nil {
+		t.Error("Run accepted an unknown experiment")
+	}
+}
+
+// TestSessionReportKeyMatchesStoreDerivation: Session.ReportKey is the
+// same address opgated derives directly via store.ReportKey — the
+// consistency that lets the service look up work a session stored (and
+// vice versa). It must also be sensitive to every keyed dimension.
+func TestSessionReportKeyMatchesStoreDerivation(t *testing.T) {
+	sess, err := NewSession(WithQuick(true), WithSynthetics("syn:narrow/small/1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sess.ReportKey("fig8", AtThreshold(70))
+	want := string(store.ReportKey("fig8", true, 70, []string{"syn:narrow/small/1"}, store.SelfIdentity()))
+	if got != want {
+		t.Fatalf("Session.ReportKey = %s, store.ReportKey = %s", got, want)
+	}
+	base := sess.ReportKey("fig8")
+	for name, other := range map[string]string{
+		"experiment": sess.ReportKey("fig9"),
+		"threshold":  sess.ReportKey("fig8", AtThreshold(110)),
+	} {
+		if other == base {
+			t.Errorf("report key insensitive to %s", name)
+		}
+	}
+}
