@@ -1,0 +1,67 @@
+package client
+
+import "time"
+
+// Request is the POST /v1/experiments body. Experiment names an entry of
+// the server's experiment list (or "all"); Synthetic/Seed/Class widen the
+// workload set with generated programs, in exactly the syntax of
+// ogbench's -synthetic/-seed/-class flags.
+type Request struct {
+	Experiment string  `json:"experiment"`
+	Threshold  float64 `json:"threshold,omitempty"` // VRS threshold; 0 means the server default
+	Synthetic  string  `json:"synthetic,omitempty"`
+	Seed       uint64  `json:"seed,omitempty"`
+	Class      string  `json:"class,omitempty"`
+}
+
+// Job is the wire form of a server-side job, also used as the ?follow=1
+// NDJSON stream frame. opgated constructs its job views from this exact
+// type, so client and server cannot drift.
+type Job struct {
+	ID         string          `json:"id"`
+	Experiment string          `json:"experiment"`
+	Threshold  float64         `json:"threshold"`
+	Synthetics []string        `json:"synthetics,omitempty"`
+	Status     string          `json:"status"`
+	ReportKey  string          `json:"report_key"`
+	Error      string          `json:"error,omitempty"`
+	Stack      string          `json:"stack,omitempty"` // recorded when a panic failed the job
+	Created    time.Time       `json:"created"`
+	Progress   []ProgressEvent `json:"progress"`
+}
+
+// ProgressEvent is one timestamped line of a job's progress log.
+type ProgressEvent struct {
+	Time time.Time `json:"time"`
+	Msg  string    `json:"msg"`
+}
+
+// The job status state machine: queued → running → one terminal status.
+//
+//	done     the report was rendered (or served from cache)
+//	failed   the experiment errored or panicked (Error, maybe Stack)
+//	timeout  the job exceeded the server's -job-timeout deadline
+//	canceled DELETE /v1/jobs/{id} stopped it
+//	aborted  the server drained while the job was still queued
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusTimeout  = "timeout"
+	StatusCanceled = "canceled"
+	StatusAborted  = "aborted"
+)
+
+// TerminalStatus reports whether a job status is final. The server's
+// handlers and this client agree through this one predicate.
+func TerminalStatus(status string) bool {
+	switch status {
+	case StatusDone, StatusFailed, StatusTimeout, StatusCanceled, StatusAborted:
+		return true
+	}
+	return false
+}
+
+// Terminal reports whether the job has reached a final status.
+func (j Job) Terminal() bool { return TerminalStatus(j.Status) }

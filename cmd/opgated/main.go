@@ -4,17 +4,22 @@
 // trace/report store, so repeated and concurrent requests re-emulate
 // nothing already seen.
 //
-//	opgated -addr :8080 -store /var/cache/opgate -workers 4 -quick
+//	opgated -addr :8080 -store /var/cache/opgate -workers 4 -quick \
+//	        -job-timeout 10m -drain-timeout 30s
 //
 // API (JSON unless noted):
 //
 //	POST   /v1/experiments    {"experiment":"fig8","threshold":50,
 //	                           "synthetic":"narrow,pointer","seed":7}
 //	                          → 202 + job; identical in-flight requests
-//	                          coalesce onto one job (200)
+//	                          coalesce onto one job (200); 503 +
+//	                          Retry-After when the queue is full or the
+//	                          server is draining
 //	GET    /v1/experiments    list runnable experiment IDs and titles
 //	GET    /v1/jobs/{id}      job snapshot; ?follow=1 streams NDJSON
 //	                          progress frames until the job finishes
+//	                          (the stream ends promptly if the client
+//	                          disconnects)
 //	DELETE /v1/jobs/{id}      cancel a queued or running job: the
 //	                          per-workload fan-out stops mid-suite and
 //	                          the job reports status "canceled"
@@ -23,14 +28,28 @@
 //	                          structured JSON (schema opgate.reports/v1)
 //	                          under Accept: application/json
 //	GET    /healthz           liveness + job and store counters
+//	GET    /readyz            readiness: 503 the moment a drain begins
+//
+// Failure semantics: jobs run under a deadline (-job-timeout, terminal
+// status "timeout"), a panicking job fails alone ("failed", stack in the
+// job record) without taking the worker pool down, and SIGTERM/SIGINT
+// triggers a graceful drain — new submissions are refused, running jobs
+// get -drain-timeout to finish (then are canceled), still-queued jobs
+// turn terminal with status "aborted", and the process exits 0 on a
+// clean drain. The companion Go client (package opgate/client) wraps
+// this API with retries and Retry-After-aware backoff.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"opgate/internal/store"
 )
@@ -42,9 +61,14 @@ func main() {
 	queue := flag.Int("queue", 256, "queued-job bound (excess submissions get 503)")
 	storeDir := flag.String("store", "", "persistent trace/report store directory")
 	storeLimit := flag.String("store-limit", "2GiB", "store size budget for -store, e.g. 256MiB, 2GiB, or bytes (0 = unlimited)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline once running (terminal status \"timeout\"; 0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for running jobs before cancelling them")
 	flag.Parse()
 
-	cfg := serverConfig{Quick: *quick, Workers: *workers, Queue: *queue}
+	cfg := serverConfig{
+		Quick: *quick, Workers: *workers, Queue: *queue,
+		JobTimeout: *jobTimeout, DrainTimeout: *drainTimeout,
+	}
 	if *storeDir != "" {
 		limit, err := store.ParseSize(*storeLimit)
 		if err != nil {
@@ -58,7 +82,38 @@ func main() {
 		}
 		cfg.Store = st
 	}
-	log.Printf("opgated: listening on %s (quick=%v workers=%d store=%q)",
-		*addr, *quick, *workers, *storeDir)
-	log.Fatal(http.ListenAndServe(*addr, newServer(cfg)))
+	s := newServer(cfg)
+	// No WriteTimeout: ?follow=1 streams legitimately outlive any fixed
+	// bound. ReadHeaderTimeout fends off slow-header connections and
+	// IdleTimeout reaps idle keep-alives, so neither can pin the drain.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("opgated: listening on %s (quick=%v workers=%d store=%q job-timeout=%s drain-timeout=%s)",
+		*addr, *quick, *workers, *storeDir, *jobTimeout, *drainTimeout)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		log.Fatal("opgated: ", err)
+	case got := <-sig:
+		log.Printf("opgated: %v: draining (timeout %s)", got, *drainTimeout)
+		clean := s.Drain()
+		// Jobs are settled; now close the listener and let in-flight
+		// responses (follow streams reading the endgame) finish.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+		if !clean {
+			log.Printf("opgated: drain timed out with jobs still active")
+			os.Exit(1)
+		}
+		log.Printf("opgated: drained cleanly")
+	}
 }

@@ -5,22 +5,33 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"opgate"
+	"opgate/client"
 	"opgate/internal/store"
 )
 
 // serverConfig fixes the evaluation envelope for the process: every job
 // shares it, so every job can share the memoized sessions underneath.
 type serverConfig struct {
-	Quick   bool         // evaluate on train inputs
-	Workers int          // worker-pool size (concurrent jobs)
-	Queue   int          // queued-job bound; excess POSTs get 503
-	Store   *store.Store // optional persistent trace/report store
+	Quick        bool          // evaluate on train inputs
+	Workers      int           // worker-pool size (concurrent jobs)
+	Queue        int           // queued-job bound; excess POSTs get 503
+	Store        *store.Store  // optional persistent trace/report store
+	JobTimeout   time.Duration // per-job deadline once running (0 = none)
+	DrainTimeout time.Duration // how long Drain waits for running jobs
+
+	// hookJobStart, when set (tests only), runs in the worker goroutine
+	// right after a job turns "running", under the job's run context —
+	// the injection point for deterministic stalls and panics.
+	hookJobStart func(context.Context, *job)
 }
 
 // server is the opgated HTTP service: a bounded worker pool draining an
@@ -37,6 +48,15 @@ type server struct {
 	mux *http.ServeMux
 
 	queue chan *job
+
+	// draining flips once, at the start of a graceful shutdown: /readyz
+	// turns unready, new submissions bounce with 503 + Retry-After, and
+	// workers abort instead of starting queued jobs.
+	draining atomic.Bool
+
+	// followers counts live ?follow=1 streams — the probe asserting a
+	// disconnected client releases its handler promptly.
+	followers atomic.Int64
 
 	mu           sync.Mutex
 	jobs         map[string]*job
@@ -74,6 +94,9 @@ func newServer(cfg serverConfig) *server {
 	if cfg.Queue <= 0 {
 		cfg.Queue = 256
 	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
 	s := &server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
@@ -89,6 +112,7 @@ func newServer(cfg serverConfig) *server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/reports/{key}", s.handleReport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
@@ -97,35 +121,13 @@ func newServer(cfg serverConfig) *server {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// experimentRequest is the POST /v1/experiments body. Experiment names an
-// entry of the experiment list (or "all"); Synthetic/Seed/Class widen the
-// workload set with generated programs, in exactly the syntax of ogbench's
-// -synthetic/-seed/-class flags.
-type experimentRequest struct {
-	Experiment string  `json:"experiment"`
-	Threshold  float64 `json:"threshold,omitempty"` // VRS threshold; 0 means the default
-	Synthetic  string  `json:"synthetic,omitempty"`
-	Seed       uint64  `json:"seed,omitempty"`
-	Class      string  `json:"class,omitempty"`
-}
-
-// jobView is the wire form of a job, also used as the follow-stream frame.
-type jobView struct {
-	ID         string          `json:"id"`
-	Experiment string          `json:"experiment"`
-	Threshold  float64         `json:"threshold"`
-	Synthetics []string        `json:"synthetics,omitempty"`
-	Status     string          `json:"status"`
-	ReportKey  string          `json:"report_key"`
-	Error      string          `json:"error,omitempty"`
-	Created    time.Time       `json:"created"`
-	Progress   []progressEvent `json:"progress"`
-}
-
-type progressEvent struct {
-	Time time.Time `json:"time"`
-	Msg  string    `json:"msg"`
-}
+// The wire types are the public client package's — server and client
+// serialize through the same structs, so the two cannot drift.
+type (
+	experimentRequest = client.Request
+	jobView           = client.Job
+	progressEvent     = client.ProgressEvent
+)
 
 // validExperiment reports whether id names a runnable experiment.
 func validExperiment(id string) bool {
@@ -141,6 +143,15 @@ func validExperiment(id string) bool {
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// Graceful shutdown in progress: refuse new work and hint the
+		// client to retry against a drained-and-restarted (or peer)
+		// process. The hint is the drain window — by then this process
+		// is gone either way.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.DrainTimeout))
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	var req experimentRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -201,6 +212,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		cancel:     cancel,
 		status:     "queued",
 		created:    time.Now(),
+		changed:    make(chan struct{}),
 	}
 	j.log("queued")
 	// Register before enqueueing so a fast worker never races the maps;
@@ -215,6 +227,9 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.seq--
 		s.mu.Unlock()
 		cancel()
+		// A full queue is transient — workers are draining it right now —
+		// so the retry hint is short, unlike the drain-time refusal.
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.Queue)
 		return
 	}
@@ -255,13 +270,22 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Streamed progress: one NDJSON frame per new progress event, flushed
-	// as it happens, until the job reaches a terminal state.
+	// as it happens, until the job reaches a terminal state. The loop is
+	// event-driven (the job broadcasts every mutation) and tied to the
+	// request context, so a disconnected client releases the handler
+	// immediately instead of the stream idling against a dead connection
+	// until the job ends.
+	s.followers.Add(1)
+	defer s.followers.Add(-1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	sent := 0
 	for {
+		// Grab the change channel before snapshotting: a mutation landing
+		// between the two wakes the next select instead of being missed.
+		changed := j.watch()
 		v := j.view()
 		for ; sent < len(v.Progress); sent++ {
 			frame := v
@@ -279,7 +303,7 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case <-time.After(100 * time.Millisecond):
+		case <-changed:
 		}
 	}
 }
@@ -344,11 +368,120 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		jobCounts[j.view().Status]++
 	}
 	s.mu.Unlock()
-	resp := map[string]any{"ok": true, "jobs": jobCounts}
+	resp := map[string]any{
+		"ok":        true,
+		"jobs":      jobCounts,
+		"draining":  s.draining.Load(),
+		"followers": s.followers.Load(),
+	}
 	if s.cfg.Store != nil {
 		resp["store"] = s.cfg.Store.Stats()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReady is the readiness probe: distinct from /healthz (the process
+// is alive and can answer) in that it flips to 503 the moment a drain
+// begins, so load balancers stop routing new work here while in-flight
+// jobs are still being answered.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "draining": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+// retryAfterSeconds renders a duration as a Retry-After header value
+// (whole seconds, rounded up, at least 1).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprint(secs)
+}
+
+// drainPoll is the cadence at which Drain re-checks for stragglers.
+const drainPoll = 10 * time.Millisecond
+
+// Drain performs the job-level half of a graceful shutdown: flip the
+// process unready (readyz 503, new POSTs refused with Retry-After), turn
+// everything still queued terminal with status "aborted", then give
+// running jobs cfg.DrainTimeout to finish on their own before cancelling
+// them and waiting (briefly) for the cancellations to surface. It returns
+// whether every job reached a terminal state — the caller's exit code.
+// The HTTP listener stays up throughout so followers and pollers read the
+// endgame; closing it is the caller's second half (http.Server.Shutdown).
+func (s *server) Drain() bool {
+	s.draining.Store(true)
+	// Drain the queue in place. Workers racing this loop for a queued job
+	// also check s.draining and abort rather than run, so every job that
+	// was queued when the drain began ends "aborted" no matter who wins.
+	aborted := 0
+	for {
+		select {
+		case j := <-s.queue:
+			if j.abortIfNotTerminal() {
+				aborted++
+			}
+			continue
+		default:
+		}
+		break
+	}
+	log.Printf("opgated: drain: aborted %d queued job(s)", aborted)
+
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for time.Now().Before(deadline) {
+		if s.activeJobs() == 0 {
+			log.Printf("opgated: drain: all jobs terminal")
+			return true
+		}
+		time.Sleep(drainPoll)
+	}
+	// Out of patience: cancel the stragglers and give the cancellation a
+	// moment to surface as a terminal status (the suite stops scheduling
+	// per-workload work at the next check).
+	stragglers := s.cancelActive()
+	log.Printf("opgated: drain: timeout after %s, canceled %d running job(s)", s.cfg.DrainTimeout, stragglers)
+	grace := time.Now().Add(min(s.cfg.DrainTimeout, 5*time.Second))
+	for time.Now().Before(grace) {
+		if s.activeJobs() == 0 {
+			return true
+		}
+		time.Sleep(drainPoll)
+	}
+	log.Printf("opgated: drain: %d job(s) still not terminal", s.activeJobs())
+	return false
+}
+
+// activeJobs counts jobs not yet in a terminal state.
+func (s *server) activeJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if !j.terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// cancelActive cancels every non-terminal job's context, returning how
+// many it hit.
+func (s *server) cancelActive() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if !j.terminal() {
+			j.cancel()
+			n++
+		}
+	}
+	return n
 }
 
 // retireJobsLocked drops the oldest terminal jobs beyond the retention
@@ -407,6 +540,8 @@ func (s *server) sessionFor(synthetics []string) *opgate.Session {
 
 // worker drains the job queue; the pool size bounds concurrent experiment
 // evaluation (each job itself fans out over the session's worker pool).
+// runJob recovers its own panics, so one poisoned job can never take a
+// worker — or the pool — down with it.
 func (s *server) worker() {
 	for j := range s.queue {
 		s.runJob(j)
@@ -415,6 +550,13 @@ func (s *server) worker() {
 
 func (s *server) runJob(j *job) {
 	defer func() {
+		if p := recover(); p != nil {
+			// Isolate the blast radius to this job: record the panic and
+			// its stack in the job record, mark it failed, and keep the
+			// worker alive for the next job.
+			j.failPanic(p, debug.Stack())
+			log.Printf("opgated: job %s panicked: %v\n%s", j.id, p, debug.Stack())
+		}
 		j.cancel() // release the context's resources on every exit path
 		s.mu.Lock()
 		if s.pending[j.reportKey] == j {
@@ -422,6 +564,12 @@ func (s *server) runJob(j *job) {
 		}
 		s.mu.Unlock()
 	}()
+	if s.draining.Load() {
+		// The process is shutting down: a job still queued now is never
+		// going to run, and its submitter should resubmit elsewhere.
+		j.abortIfNotTerminal()
+		return
+	}
 	if j.ctx.Err() != nil {
 		// Cancelled while still queued: never start the work (handleCancel
 		// usually already made the job terminal; don't log it twice).
@@ -431,6 +579,19 @@ func (s *server) runJob(j *job) {
 		return
 	}
 	j.setStatus("running")
+
+	// The job deadline layers on the cancel context: DELETE still cancels
+	// instantly, and on expiry the suite stops scheduling work and the
+	// job ends with the distinct terminal status "timeout".
+	ctx := j.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	if hook := s.cfg.hookJobStart; hook != nil {
+		hook(ctx, j)
+	}
 
 	// Warm path: an earlier job (or process, via the store) already
 	// built this exact report sequence.
@@ -446,7 +607,7 @@ func (s *server) runJob(j *job) {
 	if j.experiment == "all" {
 		exps := opgate.Experiments()
 		for i, e := range exps {
-			r, err := sess.Run(j.ctx, e.ID, at)
+			r, err := sess.Run(ctx, e.ID, at)
 			if err != nil {
 				j.finishErr(fmt.Errorf("%s: %w", e.ID, err))
 				return
@@ -455,7 +616,7 @@ func (s *server) runJob(j *job) {
 			j.log(fmt.Sprintf("%s done (%d/%d)", e.ID, i+1, len(exps)))
 		}
 	} else {
-		r, err := sess.Run(j.ctx, j.experiment, at)
+		r, err := sess.Run(ctx, j.experiment, at)
 		if err != nil {
 			j.finishErr(err)
 			return
@@ -512,10 +673,9 @@ func (s *server) cacheReport(key store.Key, data []byte) {
 	s.reports[key] = data
 }
 
-// terminalStatus reports whether a job status is final.
-func terminalStatus(status string) bool {
-	return status == "done" || status == "failed" || status == "canceled"
-}
+// terminalStatus reports whether a job status is final — delegated to the
+// client package, the single owner of the status state machine.
+func terminalStatus(status string) bool { return client.TerminalStatus(status) }
 
 // job is one enqueued experiment evaluation.
 type job struct {
@@ -530,14 +690,32 @@ type job struct {
 	mu       sync.Mutex
 	status   string
 	err      string
+	stack    string // panic stack, when a panic failed the job
 	created  time.Time
 	progress []progressEvent
+	changed  chan struct{} // closed and replaced on every mutation (broadcast)
+}
+
+// bumpLocked wakes every follower blocked on the change channel (j.mu
+// held): close-and-replace is a one-to-many broadcast with no goroutine
+// bookkeeping.
+func (j *job) bumpLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// watch returns a channel that closes on the job's next mutation.
+func (j *job) watch() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.changed
 }
 
 func (j *job) setStatus(status string) {
 	j.mu.Lock()
 	j.status = status
-	j.progress = append(j.progress, progressEvent{time.Now(), status})
+	j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: status})
+	j.bumpLocked()
 	j.mu.Unlock()
 }
 
@@ -547,28 +725,70 @@ func (j *job) cancelIfQueued() {
 	j.mu.Lock()
 	if j.status == "queued" {
 		j.status = "canceled"
-		j.progress = append(j.progress, progressEvent{time.Now(), "canceled"})
+		j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: "canceled"})
+		j.bumpLocked()
 	}
 	j.mu.Unlock()
 }
 
+// abortIfNotTerminal turns a job that will never run terminal with status
+// "aborted" (the drain path), reporting whether it did the flip.
+func (j *job) abortIfNotTerminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminalStatus(j.status) {
+		return false
+	}
+	j.status = "aborted"
+	j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: "aborted: server draining"})
+	j.bumpLocked()
+	return true
+}
+
 // finishErr records a terminal failure, mapping context cancellation to
-// the "canceled" status instead of a generic failure.
+// "canceled" and a blown job deadline to "timeout" instead of a generic
+// failure.
 func (j *job) finishErr(err error) {
-	if errors.Is(err, context.Canceled) {
+	switch {
+	case errors.Is(err, context.Canceled):
 		j.setStatus("canceled")
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		j.mu.Lock()
+		j.status = "timeout"
+		j.err = err.Error()
+		j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: "timeout: " + err.Error()})
+		j.bumpLocked()
+		j.mu.Unlock()
 		return
 	}
 	j.mu.Lock()
 	j.status = "failed"
 	j.err = err.Error()
-	j.progress = append(j.progress, progressEvent{time.Now(), "failed: " + err.Error()})
+	j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: "failed: " + err.Error()})
+	j.bumpLocked()
 	j.mu.Unlock()
+}
+
+// failPanic records a recovered panic: the job fails with the panic value
+// as its error and the stack preserved in the job record.
+func (j *job) failPanic(p any, stack []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if terminalStatus(j.status) {
+		return // already terminal; the log line still carries the stack
+	}
+	j.status = "failed"
+	j.err = fmt.Sprintf("panic: %v", p)
+	j.stack = string(stack)
+	j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: j.err})
+	j.bumpLocked()
 }
 
 func (j *job) log(msg string) {
 	j.mu.Lock()
-	j.progress = append(j.progress, progressEvent{time.Now(), msg})
+	j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: msg})
+	j.bumpLocked()
 	j.mu.Unlock()
 }
 
@@ -589,6 +809,7 @@ func (j *job) view() jobView {
 		Status:     j.status,
 		ReportKey:  string(j.reportKey),
 		Error:      j.err,
+		Stack:      j.stack,
 		Created:    j.created,
 		Progress:   append([]progressEvent(nil), j.progress...),
 	}

@@ -443,11 +443,25 @@ func TestQueueBound(t *testing.T) {
 	codes := map[int]int{}
 	ids := map[string]bool{}
 	for i := 0; i < 6; i++ {
-		v, code := submit(t, ts, fmt.Sprintf(`{"experiment":"fig2","threshold":%d}`, 30+i))
-		codes[code]++
-		if code == http.StatusAccepted {
-			ids[v.ID] = true
+		body := fmt.Sprintf(`{"experiment":"fig2","threshold":%d}`, 30+i)
+		resp, err := http.Post(ts.URL+"/v1/experiments", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
 		}
+		codes[resp.StatusCode]++
+		if resp.StatusCode == http.StatusAccepted {
+			var v jobView
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				t.Fatal(err)
+			}
+			ids[v.ID] = true
+		} else if resp.StatusCode == http.StatusServiceUnavailable {
+			// A refused submission must tell the client when to come back.
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("queue-full 503 carries no Retry-After")
+			}
+		}
+		resp.Body.Close()
 	}
 	if codes[http.StatusServiceUnavailable] == 0 {
 		t.Fatalf("no submission was refused: %v", codes)

@@ -22,7 +22,14 @@
 // Everything else adapts this surface. `ogbench` renders a session to
 // stdout (-format text|json); `opgated` serves it over HTTP (POST
 // /v1/experiments, DELETE /v1/jobs/{id} for cancellation, GET
-// /v1/reports/{key} negotiating text or canonical JSON via Accept);
+// /v1/reports/{key} negotiating text or canonical JSON via Accept) with
+// production failure semantics — per-job deadlines (-job-timeout,
+// terminal status "timeout"), panic isolation (a panicking job ends
+// "failed" with its stack recorded; the worker pool survives), and a
+// SIGTERM graceful drain (-drain-timeout: /readyz flips unready, new
+// submissions get 503 + Retry-After, queued jobs end "aborted"). Package
+// opgate/client is the matching Go client: submit/poll/follow/cancel
+// with context-aware exponential backoff that honors Retry-After.
 // internal/core is a thin compatibility shim; the examples/ programs use
 // the public API only. See internal/harness for the per-experiment
 // drivers and DESIGN.md for the full system inventory. The root package

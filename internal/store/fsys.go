@@ -1,0 +1,43 @@
+package store
+
+import (
+	"io"
+	"os"
+	"time"
+)
+
+// FS abstracts every filesystem operation the store performs, so tests
+// can substitute a fault-injecting implementation (FaultFS) and prove the
+// degradation contract: any disk misbehavior — full disks, torn renames,
+// partial writes, undeletable files — must read as a cache miss served by
+// re-emulation, never as an error surfaced to the pipeline or a corrupt
+// object mistaken for a good one.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	Stat(name string) (os.FileInfo, error)
+	Chtimes(name string, atime, mtime time.Time) error
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	CreateTemp(dir, pattern string) (File, error)
+}
+
+// File is the slice of *os.File the store's staged writes need.
+type File interface {
+	io.Writer
+	Name() string
+	Close() error
+}
+
+// osFS is the production FS: the real filesystem, verbatim.
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)        { return os.Stat(name) }
+func (osFS) Chtimes(name string, a, m time.Time) error    { return os.Chtimes(name, a, m) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }

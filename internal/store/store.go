@@ -2,7 +2,6 @@ package store
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -51,6 +50,7 @@ func ParseSize(s string) (int64, error) {
 type Store struct {
 	root  string
 	limit int64 // byte budget; <= 0 means unlimited
+	fs    FS    // the filesystem underneath (osFS outside of chaos tests)
 
 	mu   sync.Mutex // serializes writes and the eviction sweep
 	size int64      // cached resident bytes (tracked only when limit > 0)
@@ -70,12 +70,18 @@ type Stats struct {
 // Open creates (if needed) and opens a store rooted at dir with the given
 // byte budget (limit <= 0 disables eviction).
 func Open(dir string, limit int64) (*Store, error) {
+	return OpenFS(dir, limit, osFS{})
+}
+
+// OpenFS is Open over an explicit filesystem — the chaos-test entry point
+// (pair it with a FaultFS to inject disk misbehavior into a live store).
+func OpenFS(dir string, limit int64, fs FS) (*Store, error) {
 	for _, sub := range []string{"objects", "tmp"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+		if err := fs.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}
 	}
-	s := &Store{root: dir, limit: limit}
+	s := &Store{root: dir, limit: limit, fs: fs}
 	s.sweepStaleTemps()
 	if limit > 0 {
 		// Seed the resident-size tracker so Put only pays a directory
@@ -100,14 +106,14 @@ const staleTempAge = time.Hour
 // would ever account for them.
 func (s *Store) sweepStaleTemps() {
 	dir := filepath.Join(s.root, "tmp")
-	entries, err := os.ReadDir(dir)
+	entries, err := s.fs.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	cutoff := time.Now().Add(-staleTempAge)
 	for _, e := range entries {
 		if info, err := e.Info(); err == nil && info.ModTime().Before(cutoff) {
-			_ = os.Remove(filepath.Join(dir, e.Name()))
+			_ = s.fs.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 }
@@ -134,13 +140,13 @@ func (s *Store) objectPath(key Key) string {
 // accelerates the pipeline and must never fail it.
 func (s *Store) Get(key Key) ([]byte, bool) {
 	path := s.objectPath(key)
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
 	}
 	now := time.Now()
-	_ = os.Chtimes(path, now, now) // LRU touch; best-effort
+	_ = s.fs.Chtimes(path, now, now) // LRU touch; best-effort
 	s.hits.Add(1)
 	return data, true
 }
@@ -152,11 +158,11 @@ func (s *Store) Put(key Key, data []byte) error {
 	defer s.mu.Unlock()
 	var replaced int64
 	if s.limit > 0 {
-		if info, err := os.Stat(s.objectPath(key)); err == nil {
+		if info, err := s.fs.Stat(s.objectPath(key)); err == nil {
 			replaced = info.Size()
 		}
 	}
-	f, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "put-*")
+	f, err := s.fs.CreateTemp(filepath.Join(s.root, "tmp"), "put-*")
 	if err != nil {
 		s.putErrors.Add(1)
 		return fmt.Errorf("store: put %s: %w", key, err)
@@ -168,10 +174,10 @@ func (s *Store) Put(key Key, data []byte) error {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = os.Rename(tmp, s.objectPath(key))
+		werr = s.fs.Rename(tmp, s.objectPath(key))
 	}
 	if werr != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		s.putErrors.Add(1)
 		return fmt.Errorf("store: put %s: %w", key, werr)
 	}
@@ -187,12 +193,12 @@ func (s *Store) Put(key Key, data []byte) error {
 
 // Delete removes the object stored under key, if any.
 func (s *Store) Delete(key Key) {
-	_ = os.Remove(s.objectPath(key))
+	_ = s.fs.Remove(s.objectPath(key))
 }
 
 // Size returns the total bytes resident in the objects directory.
 func (s *Store) Size() (int64, error) {
-	entries, err := os.ReadDir(filepath.Join(s.root, "objects"))
+	entries, err := s.fs.ReadDir(filepath.Join(s.root, "objects"))
 	if err != nil {
 		return 0, err
 	}
@@ -213,7 +219,7 @@ func (s *Store) Size() (int64, error) {
 // caller is about to rely on would make the budget self-defeating.
 func (s *Store) evictLocked(keep Key) {
 	dir := filepath.Join(s.root, "objects")
-	entries, err := os.ReadDir(dir)
+	entries, err := s.fs.ReadDir(dir)
 	if err != nil {
 		return
 	}
@@ -240,7 +246,7 @@ func (s *Store) evictLocked(keep Key) {
 		if o.name == string(keep) {
 			continue
 		}
-		if os.Remove(filepath.Join(dir, o.name)) == nil {
+		if s.fs.Remove(filepath.Join(dir, o.name)) == nil {
 			total -= o.size
 			s.evictions.Add(1)
 		}

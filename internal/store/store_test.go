@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -228,5 +229,69 @@ func TestStoreConcurrent(t *testing.T) {
 	wg.Wait()
 	if limit := int64(8 * len(blob)); s.limit != limit {
 		t.Fatalf("limit drifted: %d", s.limit)
+	}
+}
+
+// TestStoreConcurrentUnderRemoveRenameFaults is TestStoreConcurrent with
+// the eviction and install paths misbehaving: every few Rename and Remove
+// calls fail, so sweeps race puts over undeletable files and installs
+// abort mid-flight. The contract under fire is unchanged — puts fail only
+// with injected errors, gets see whole objects or nothing, and the sweep
+// never wedges the store. Run under -race in CI.
+func TestStoreConcurrentUnderRemoveRenameFaults(t *testing.T) {
+	p := mustMiniProgram()
+	id := ProgramIdentity(p)
+	tr := capture(t, p)
+	blob := EncodeTrace(tr, id)
+
+	ff := NewFaultFS()
+	s, err := OpenFS(t.TempDir(), int64(4*len(blob)), ff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.FailRenames(4)
+	ff.FailRemoves(3)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				key := TraceKey(fmt.Sprintf("w%d", (w+i)%6), "base", "train", id)
+				switch i % 4 {
+				case 0:
+					if err := s.PutTrace(key, tr, id); err != nil && !errors.Is(err, ErrInjected) {
+						t.Errorf("put: non-injected error %v", err)
+						return
+					}
+				case 1:
+					if got, ok := s.GetTrace(key, p, id); ok && got.Len() != tr.Len() {
+						t.Errorf("trace read back with %d events, want %d", got.Len(), tr.Len())
+						return
+					}
+				case 2:
+					s.Delete(key) // races the sweep over failing removes
+				default:
+					if data, ok := s.Get(key); ok && !bytes.Equal(data, blob) {
+						t.Error("raw read returned a partial or foreign object")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ff.Injected() == 0 {
+		t.Fatal("fault cadence never fired")
+	}
+	ff.Clear()
+	key := TraceKey("recovery", "base", "train", id)
+	if err := s.PutTrace(key, tr, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetTrace(key, p, id); !ok {
+		t.Fatal("store unusable after the faulty run")
 	}
 }
