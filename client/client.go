@@ -78,6 +78,27 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("opgated: HTTP %d: %s", e.Status, e.Message)
 }
 
+// RetryAfterError is an *APIError whose response carried a parseable
+// Retry-After header — the server's own estimate (from its observed job
+// service times) of when capacity frees up. Callers implementing their
+// own scheduling can honor the hint:
+//
+//	var ra *client.RetryAfterError
+//	if errors.As(err, &ra) { time.Sleep(ra.RetryAfter) }
+//
+// errors.As with **APIError still matches (RetryAfterError unwraps to
+// its embedded APIError), so existing status-code handling is unchanged.
+type RetryAfterError struct {
+	APIError
+	RetryAfter time.Duration // the server's backoff hint
+}
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("%s (retry after %s)", e.APIError.Error(), e.RetryAfter)
+}
+
+func (e *RetryAfterError) Unwrap() error { return &e.APIError }
+
 // Client calls one opgated base URL. It is safe for concurrent use.
 type Client struct {
 	base   string
@@ -197,7 +218,8 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, idemp
 	}
 }
 
-// responseError drains a non-2xx response into an *APIError.
+// responseError drains a non-2xx response into an *APIError — or a
+// *RetryAfterError when the response carried a usable Retry-After hint.
 func responseError(resp *http.Response) error {
 	defer resp.Body.Close()
 	var payload struct {
@@ -207,7 +229,11 @@ func responseError(resp *http.Response) error {
 	if err := json.Unmarshal(body, &payload); err != nil || payload.Error == "" {
 		payload.Error = strings.TrimSpace(string(body))
 	}
-	return &APIError{Status: resp.StatusCode, Message: payload.Error}
+	apiErr := APIError{Status: resp.StatusCode, Message: payload.Error}
+	if ra, ok := retryAfter(resp); ok {
+		return &RetryAfterError{APIError: apiErr, RetryAfter: ra}
+	}
+	return &apiErr
 }
 
 // decodeInto decodes a 2xx JSON response body; any other status becomes
@@ -258,14 +284,20 @@ func (c *Client) Cancel(ctx context.Context, id string) (Job, error) {
 }
 
 // Wait polls a job until it reaches a terminal status (or ctx ends),
-// backing off from quick probes to a steady cadence.
+// backing off from quick probes to a steady cadence. When a job the
+// client has already observed turns 404 — a server restart that lost the
+// job record (no journal, or a torn one) — Wait returns the last-known
+// snapshot alongside the error, so the caller still holds the report key
+// and can check the content-addressed store (Run does exactly that).
 func (c *Client) Wait(ctx context.Context, id string) (Job, error) {
 	interval := 25 * time.Millisecond
+	var last Job
 	for {
 		j, err := c.Job(ctx, id)
 		if err != nil {
-			return Job{}, err
+			return last, err
 		}
+		last = j
 		if j.Terminal() {
 			return j, nil
 		}
@@ -387,13 +419,27 @@ func (c *Client) reportsOnce(ctx context.Context, key string) ([]*opgate.Report,
 // Run is the whole round trip: submit, wait for a terminal status, and
 // fetch the decoded reports. A job that ends any way but "done" is an
 // error naming the terminal status (and the server's recorded error).
+//
+// Run survives a full server restart: if the job vanishes mid-wait (404
+// from a process that restarted without re-adopting it), Run falls back
+// to fetching the report under the submission's content-addressed key —
+// a server that finished the work before dying, or redid it after, still
+// answers, and only a restart that genuinely lost the work surfaces an
+// error.
 func (c *Client) Run(ctx context.Context, req Request) ([]*opgate.Report, error) {
 	j, err := c.Submit(ctx, req)
 	if err != nil {
 		return nil, err
 	}
+	key := j.ReportKey
 	j, err = c.Wait(ctx, j.ID)
 	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound && key != "" {
+			if reports, rerr := c.Reports(ctx, key); rerr == nil {
+				return reports, nil
+			}
+		}
 		return nil, err
 	}
 	if j.Status != StatusDone {

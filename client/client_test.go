@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"opgate"
 )
 
 // fastPolicy keeps unit-test backoffs tiny.
@@ -295,5 +297,83 @@ func TestDelayShape(t *testing.T) {
 func TestNewValidatesBaseURL(t *testing.T) {
 	if _, err := New("localhost:8080"); err == nil {
 		t.Fatal("New accepted a schemeless base URL")
+	}
+}
+
+// TestRetryAfterErrorTyped: a refused call whose response carried a
+// parseable Retry-After surfaces as *RetryAfterError exposing the hint —
+// and still matches *APIError, so status-code handling is unaffected.
+func TestRetryAfterErrorTyped(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, `{"error":"shedding uncached work under load"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	_, err := newClient(t, ts, WithRetryPolicy(RetryPolicy{MaxAttempts: 1})).
+		Submit(context.Background(), Request{Experiment: "fig2"})
+	var ra *RetryAfterError
+	if !errors.As(err, &ra) {
+		t.Fatalf("got %v (%T), want *RetryAfterError", err, err)
+	}
+	if ra.RetryAfter != 7*time.Second || ra.Status != http.StatusServiceUnavailable {
+		t.Fatalf("hint %s status %d, want 7s / 503", ra.RetryAfter, ra.Status)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("RetryAfterError does not unwrap to *APIError: %v", err)
+	}
+}
+
+// TestRunSurvivesServerRestart: the job 404s mid-wait (a restart lost the
+// job record), but the report exists under the submission's
+// content-addressed key — Run falls back to the report store instead of
+// failing.
+func TestRunSurvivesServerRestart(t *testing.T) {
+	blob, err := opgate.EncodeReports([]*opgate.Report{{ID: "fig2", Title: "restart survivor"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			writeJob(w, http.StatusAccepted, Job{ID: "job-000001", Status: StatusQueued, ReportKey: "cafe0123"})
+		case r.URL.Path == "/v1/jobs/job-000001":
+			// The restarted process never heard of the job.
+			http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+		case r.URL.Path == "/v1/reports/cafe0123":
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(blob)
+		default:
+			http.Error(w, `{"error":"unexpected call"}`, http.StatusBadRequest)
+		}
+	}))
+	defer ts.Close()
+
+	reports, err := newClient(t, ts).Run(context.Background(), Request{Experiment: "fig2"})
+	if err != nil {
+		t.Fatalf("Run did not survive the restart: %v", err)
+	}
+	if len(reports) != 1 || reports[0].Title != "restart survivor" {
+		t.Fatalf("Run returned %+v", reports)
+	}
+}
+
+// TestRunReportsGenuineLoss: when the restarted server lost both the job
+// and the report, Run surfaces the original 404 instead of masking it.
+func TestRunReportsGenuineLoss(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			writeJob(w, http.StatusAccepted, Job{ID: "job-000001", Status: StatusQueued, ReportKey: "cafe0123"})
+			return
+		}
+		http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	_, err := newClient(t, ts).Run(context.Background(), Request{Experiment: "fig2"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("got %v, want the job's 404", err)
 	}
 }

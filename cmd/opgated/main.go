@@ -7,6 +7,27 @@
 //	opgated -addr :8080 -store /var/cache/opgate -workers 4 -quick \
 //	        -job-timeout 10m -drain-timeout 30s
 //
+// Durability: with -journal (default "auto": <store>/journal.log whenever
+// -store is set, disabled otherwise; "off" disables, any other value is
+// the journal file path) every job status transition is appended to a
+// CRC-framed, fsynced, crash-safe journal. At boot the journal is
+// replayed: jobs that were queued or running when the process died —
+// SIGKILL included — are re-adopted under their original job IDs, so a
+// client's Wait/Follow against the restarted process finds its job; jobs
+// whose report already landed in the content-addressed store are marked
+// done without re-running; terminal jobs reappear as visible history. The
+// journal compacts itself once it outgrows a fixed budget, keeping only
+// jobs that are still in flight.
+//
+// Admission control: a submission whose report already exists (in cache
+// or store) is always admitted — serving it is one read. Cold
+// submissions, which buy real emulation work, are shed with 503 once the
+// queue depth reaches -shed-watermark (default 3/4 of -queue; -1
+// disables) or the estimated footprint of admitted cold jobs exceeds
+// -max-inflight-bytes (0 = unbounded). The Retry-After on a shed or
+// queue-full response is derived from observed job service times, not a
+// constant.
+//
 // API (JSON unless noted):
 //
 //	POST   /v1/experiments    {"experiment":"fig8","threshold":50,
@@ -36,8 +57,10 @@
 // triggers a graceful drain — new submissions are refused, running jobs
 // get -drain-timeout to finish (then are canceled), still-queued jobs
 // turn terminal with status "aborted", and the process exits 0 on a
-// clean drain. The companion Go client (package opgate/client) wraps
-// this API with retries and Retry-After-aware backoff.
+// clean drain. A SIGKILL is covered by the journal (above): the next
+// boot re-adopts whatever was in flight. The companion Go client
+// (package opgate/client) wraps this API with retries, Retry-After-aware
+// backoff, and a report-store fallback that survives a server restart.
 package main
 
 import (
@@ -48,9 +71,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"opgate/client"
+	"opgate/internal/journal"
 	"opgate/internal/store"
 )
 
@@ -61,6 +87,9 @@ func main() {
 	queue := flag.Int("queue", 256, "queued-job bound (excess submissions get 503)")
 	storeDir := flag.String("store", "", "persistent trace/report store directory")
 	storeLimit := flag.String("store-limit", "2GiB", "store size budget for -store, e.g. 256MiB, 2GiB, or bytes (0 = unlimited)")
+	journalPath := flag.String("journal", "auto", "durable job journal: a file path, \"auto\" (<store>/journal.log when -store is set), or \"off\"")
+	shedWatermark := flag.Int("shed-watermark", 0, "queue depth at which uncached submissions shed with 503 (0 = 3/4 of -queue; -1 disables)")
+	maxInflight := flag.String("max-inflight-bytes", "0", "estimated uncached-work footprint admitted concurrently, e.g. 64MiB (0 = unbounded)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline once running (terminal status \"timeout\"; 0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for running jobs before cancelling them")
 	flag.Parse()
@@ -68,7 +97,14 @@ func main() {
 	cfg := serverConfig{
 		Quick: *quick, Workers: *workers, Queue: *queue,
 		JobTimeout: *jobTimeout, DrainTimeout: *drainTimeout,
+		ShedWatermark: *shedWatermark,
 	}
+	inflight, err := store.ParseSize(*maxInflight)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opgated: -max-inflight-bytes:", err)
+		os.Exit(2)
+	}
+	cfg.MaxInflightBytes = inflight
 	if *storeDir != "" {
 		limit, err := store.ParseSize(*storeLimit)
 		if err != nil {
@@ -81,6 +117,26 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.Store = st
+	}
+	jpath := *journalPath
+	if jpath == "auto" {
+		jpath = ""
+		if *storeDir != "" {
+			jpath = filepath.Join(*storeDir, "journal.log")
+		}
+	} else if jpath == "off" {
+		jpath = ""
+	}
+	if jpath != "" {
+		jnl, recovered, err := journal.Open(jpath, journal.DefaultCompactBudget, client.TerminalStatus, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opgated: -journal:", err)
+			os.Exit(2)
+		}
+		defer jnl.Close()
+		cfg.Journal = jnl
+		cfg.Recovered = recovered
+		log.Printf("opgated: journal %s: replayed %d record(s)", jpath, len(recovered))
 	}
 	s := newServer(cfg)
 	// No WriteTimeout: ?follow=1 streams legitimately outlive any fixed

@@ -15,6 +15,7 @@ import (
 
 	"opgate"
 	"opgate/client"
+	"opgate/internal/journal"
 	"opgate/internal/store"
 )
 
@@ -27,6 +28,23 @@ type serverConfig struct {
 	Store        *store.Store  // optional persistent trace/report store
 	JobTimeout   time.Duration // per-job deadline once running (0 = none)
 	DrainTimeout time.Duration // how long Drain waits for running jobs
+
+	// Journal, when set, records every job status transition durably; at
+	// boot Recovered (the journal's replay) re-adopts the previous
+	// process's jobs under their original IDs.
+	Journal   *journal.Journal
+	Recovered []journal.Record
+
+	// ShedWatermark is the queue depth at which cold submissions — those
+	// whose report is in neither the memory cache nor the store, so
+	// admitting them buys real emulation work — are shed with 503 before
+	// the queue is full. 0 selects 3/4 of Queue; negative disables
+	// watermark shedding. Warm and coalesced submissions are never shed.
+	ShedWatermark int
+	// MaxInflightBytes bounds the estimated footprint of admitted cold
+	// jobs; past it cold submissions shed even below the watermark
+	// (0 = unbounded).
+	MaxInflightBytes int64
 
 	// hookJobStart, when set (tests only), runs in the worker goroutine
 	// right after a job turns "running", under the job's run context —
@@ -58,6 +76,18 @@ type server struct {
 	// disconnected client releases its handler promptly.
 	followers atomic.Int64
 
+	// sheds counts submissions refused by admission control (not by a
+	// literally full queue); coldBytes is the estimated footprint of the
+	// cold jobs currently admitted, the MaxInflightBytes ledger.
+	sheds     atomic.Int64
+	coldBytes atomic.Int64
+
+	// svcTimes is a ring of observed cold-job service times; its mean
+	// turns queue depth into the honest Retry-After a shed client gets.
+	svcMu    sync.Mutex
+	svcTimes []time.Duration
+	svcNext  int
+
 	mu           sync.Mutex
 	jobs         map[string]*job
 	jobOrder     []string                   // creation order, for terminal-job retirement
@@ -86,6 +116,16 @@ const sessionCacheMax = 8
 // are never retired (the queue bound caps how many of those can exist).
 const jobRetainMax = 512
 
+// serviceWindow is how many recent cold-job service times feed the
+// Retry-After estimate.
+const serviceWindow = 32
+
+// coldSyntheticEstimate is the per-workload footprint a cold job is
+// assumed to add (traces + report) for the MaxInflightBytes ledger — a
+// coarse planning figure, deliberately on the high side so the bound
+// sheds early rather than late.
+const coldSyntheticEstimate int64 = 256 << 10
+
 // newServer builds the service and starts its worker pool.
 func newServer(cfg serverConfig) *server {
 	if cfg.Workers <= 0 {
@@ -113,10 +153,128 @@ func newServer(cfg serverConfig) *server {
 	s.mux.HandleFunc("GET /v1/reports/{key}", s.handleReport)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	// Re-adopt the previous process's jobs before any worker can race the
+	// maps: recovery must see the whole journal state at once.
+	s.recoverJournal()
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s
+}
+
+// shedWatermark resolves the effective cold-shedding queue depth
+// (negative = disabled).
+func (s *server) shedWatermark() int {
+	switch {
+	case s.cfg.ShedWatermark > 0:
+		return s.cfg.ShedWatermark
+	case s.cfg.ShedWatermark < 0:
+		return -1
+	}
+	return max(1, s.cfg.Queue*3/4)
+}
+
+// bindJournal points a job's transition hook at the configured journal:
+// every status change appends one durable record carrying the full job
+// definition, so a replay can re-adopt the job without any other state.
+// The hook runs under j.mu — journal order matches status order per job.
+func (s *server) bindJournal(j *job) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	j.onEvent = func(status, errmsg string) {
+		_, err := s.cfg.Journal.Append(journal.Record{
+			Job:        j.id,
+			Status:     status,
+			Experiment: j.experiment,
+			Threshold:  j.threshold,
+			Synthetics: j.synthetics,
+			ReportKey:  string(j.reportKey),
+			Err:        errmsg,
+		})
+		if err != nil {
+			log.Printf("opgated: journal: %v", err)
+		}
+	}
+}
+
+// recoverJournal replays the journal a restarted process inherited:
+// terminal jobs become visible history under their original IDs, jobs
+// whose report already sits in the store are marked done without
+// re-running (a journal tail torn by SIGKILL may have lost the "done"
+// record, but the content-addressed report proves completion), and
+// everything else is re-enqueued as queued under its original ID — so a
+// client's Wait/Follow against the restarted process finds its job
+// instead of a 404. Re-execution is harmless: traces and reports are
+// content-addressed and coalesced, so finished work is served from the
+// store, not redone. Runs before the worker pool starts.
+func (s *server) recoverJournal() {
+	if len(s.cfg.Recovered) == 0 {
+		return
+	}
+	recs := journal.Reduce(s.cfg.Recovered)
+	// Job IDs must keep climbing past everything the journal ever named,
+	// or a new submission could collide with a recovered job.
+	for _, r := range recs {
+		var n int
+		if _, err := fmt.Sscanf(r.Job, "job-%06d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+	}
+	requeued, completed, terminal := 0, 0, 0
+	for _, r := range recs {
+		key, kerr := store.ParseKey(r.ReportKey)
+		if kerr != nil && !terminalStatus(r.Status) {
+			// A record whose report key does not parse cannot be re-run
+			// safely; CRC framing makes this damage, not skew.
+			log.Printf("opgated: journal: skipping unrecoverable job %s: %v", r.Job, kerr)
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j := &job{
+			id:         r.Job,
+			experiment: r.Experiment,
+			threshold:  r.Threshold,
+			synthetics: r.Synthetics,
+			reportKey:  key,
+			ctx:        ctx,
+			cancel:     cancel,
+			status:     r.Status,
+			err:        r.Err,
+			created:    time.Unix(0, r.Time),
+			changed:    make(chan struct{}),
+		}
+		s.bindJournal(j)
+		s.jobs[j.id] = j
+		s.jobOrder = append(s.jobOrder, j.id)
+		switch {
+		case terminalStatus(r.Status):
+			j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: "recovered: " + r.Status})
+			cancel()
+			terminal++
+		case func() bool { _, ok := s.getReport(key); return ok }():
+			// Never resurrect completed work: the store is the authority.
+			j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: "recovered: report already in store"})
+			j.setStatus("done")
+			cancel()
+			completed++
+		default:
+			j.status = "queued"
+			j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: "recovered: re-adopted after restart (was " + r.Status + ")"})
+			s.pending[key] = j
+			select {
+			case s.queue <- j:
+				s.admitCold(j)
+				requeued++
+			default:
+				j.abortIfNotTerminal("queue full at recovery")
+				delete(s.pending, key)
+				cancel()
+			}
+		}
+	}
+	log.Printf("opgated: journal: recovered %d job(s): %d requeued, %d already complete, %d terminal",
+		len(recs), requeued, completed, terminal)
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -200,6 +358,38 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.respondJob(w, http.StatusOK, j)
 		return
 	}
+	s.mu.Unlock()
+
+	// Admission control. A submission whose report already exists is warm
+	// — serving it costs one cache/store read, so it is always admitted.
+	// A cold submission buys real emulation work; under load (queue depth
+	// at the shed watermark, or the cold-footprint ledger over budget)
+	// it is shed first, with a Retry-After derived from observed service
+	// times rather than a flat guess.
+	_, warm := s.getReport(key)
+	if !warm {
+		depth := len(s.queue)
+		wm := s.shedWatermark()
+		ledger := s.coldBytes.Load()
+		over := s.cfg.MaxInflightBytes > 0 && ledger > 0 &&
+			ledger+coldEstimate(names) > s.cfg.MaxInflightBytes
+		if (wm >= 0 && depth >= wm) || over {
+			s.sheds.Add(1)
+			w.Header().Set("Retry-After", retryAfterSeconds(s.predictWait(depth)))
+			httpError(w, http.StatusServiceUnavailable,
+				"shedding uncached work under load (%d queued); cached and in-flight requests are still served", depth)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if j, ok := s.pending[key]; ok && j.ctx.Err() == nil {
+		// An identical twin registered while the lock was dropped for the
+		// warm check: coalesce onto it.
+		s.mu.Unlock()
+		s.respondJob(w, http.StatusOK, j)
+		return
+	}
 	s.seq++
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
@@ -214,29 +404,101 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		created:    time.Now(),
 		changed:    make(chan struct{}),
 	}
+	s.bindJournal(j)
 	j.log("queued")
 	// Register before enqueueing so a fast worker never races the maps;
 	// deregister if the queue turns out to be full.
 	s.jobs[j.id] = j
 	s.pending[key] = j
+	s.mu.Unlock()
+
+	// Journal "queued" before the job can reach a worker, so its first
+	// record is always the submission (guarded by j.mu against a racing
+	// cancel, whose record must then come second).
+	j.journalInitial()
+
+	s.mu.Lock()
 	select {
 	case s.queue <- j:
 	default:
 		delete(s.jobs, j.id)
-		delete(s.pending, key)
-		s.seq--
+		if s.pending[key] == j {
+			delete(s.pending, key)
+		}
 		s.mu.Unlock()
 		cancel()
+		// The journaled "queued" record needs a terminal successor, or a
+		// restart would resurrect this never-enqueued job. The ID stays
+		// burned — journaled IDs are never reused.
+		j.abortIfNotTerminal("queue full")
 		// A full queue is transient — workers are draining it right now —
-		// so the retry hint is short, unlike the drain-time refusal.
-		w.Header().Set("Retry-After", "1")
+		// but the honest hint is the observed drain rate, not a constant.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.predictWait(s.cfg.Queue)))
 		httpError(w, http.StatusServiceUnavailable, "job queue full (%d pending)", s.cfg.Queue)
 		return
 	}
 	s.jobOrder = append(s.jobOrder, j.id)
 	s.retireJobsLocked()
+	if !warm {
+		s.admitCold(j)
+	}
 	s.mu.Unlock()
 	s.respondJob(w, http.StatusAccepted, j)
+}
+
+// coldEstimate is the footprint a cold job is assumed to add while in
+// flight, for the MaxInflightBytes ledger.
+func coldEstimate(synthetics []string) int64 {
+	return int64(max(1, len(synthetics))) * coldSyntheticEstimate
+}
+
+// admitCold charges a job's estimated footprint to the cold ledger; the
+// worker releases it when the job leaves the pipeline.
+func (s *server) admitCold(j *job) {
+	j.cold = true
+	j.coldCharge = coldEstimate(j.synthetics)
+	s.coldBytes.Add(j.coldCharge)
+}
+
+// observeService feeds one completed cold-job duration into the ring
+// behind Retry-After estimates.
+func (s *server) observeService(d time.Duration) {
+	s.svcMu.Lock()
+	defer s.svcMu.Unlock()
+	if len(s.svcTimes) < serviceWindow {
+		s.svcTimes = append(s.svcTimes, d)
+	} else {
+		s.svcTimes[s.svcNext%serviceWindow] = d
+	}
+	s.svcNext++
+}
+
+// meanService is the mean of the observed service-time window (0 when
+// nothing has been observed yet).
+func (s *server) meanService() time.Duration {
+	s.svcMu.Lock()
+	defer s.svcMu.Unlock()
+	if len(s.svcTimes) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.svcTimes {
+		sum += d
+	}
+	return sum / time.Duration(len(s.svcTimes))
+}
+
+// predictWait estimates how long a submission arriving behind depth
+// queued jobs would wait for a worker: the number of queue "waves" ahead
+// of it times the mean observed service time. Before any observation the
+// estimate degrades to one second — the old flat hint.
+func (s *server) predictWait(depth int) time.Duration {
+	mean := s.meanService()
+	if mean <= 0 {
+		return time.Second
+	}
+	waves := (depth + s.cfg.Workers) / s.cfg.Workers // ceil((depth+1)/workers)
+	return time.Duration(waves) * mean
 }
 
 func (s *server) respondJob(w http.ResponseWriter, status int, j *job) {
@@ -373,9 +635,20 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"jobs":      jobCounts,
 		"draining":  s.draining.Load(),
 		"followers": s.followers.Load(),
+		"admission": map[string]any{
+			"queueDepth":        len(s.queue),
+			"queueCapacity":     s.cfg.Queue,
+			"shedWatermark":     s.shedWatermark(),
+			"sheds":             s.sheds.Load(),
+			"coldInflightBytes": s.coldBytes.Load(),
+			"meanServiceMs":     s.meanService().Milliseconds(),
+		},
 	}
 	if s.cfg.Store != nil {
 		resp["store"] = s.cfg.Store.Stats()
+	}
+	if s.cfg.Journal != nil {
+		resp["journal"] = s.cfg.Journal.Stats()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -422,7 +695,7 @@ func (s *server) Drain() bool {
 	for {
 		select {
 		case j := <-s.queue:
-			if j.abortIfNotTerminal() {
+			if j.abortIfNotTerminal("server draining") {
 				aborted++
 			}
 			continue
@@ -558,6 +831,9 @@ func (s *server) runJob(j *job) {
 			log.Printf("opgated: job %s panicked: %v\n%s", j.id, p, debug.Stack())
 		}
 		j.cancel() // release the context's resources on every exit path
+		if j.cold {
+			s.coldBytes.Add(-j.coldCharge)
+		}
 		s.mu.Lock()
 		if s.pending[j.reportKey] == j {
 			delete(s.pending, j.reportKey)
@@ -567,7 +843,7 @@ func (s *server) runJob(j *job) {
 	if s.draining.Load() {
 		// The process is shutting down: a job still queued now is never
 		// going to run, and its submitter should resubmit elsewhere.
-		j.abortIfNotTerminal()
+		j.abortIfNotTerminal("server draining")
 		return
 	}
 	if j.ctx.Err() != nil {
@@ -601,6 +877,7 @@ func (s *server) runJob(j *job) {
 		return
 	}
 
+	started := time.Now()
 	sess := s.sessionFor(j.synthetics)
 	at := opgate.AtThreshold(j.threshold)
 	var reports []*opgate.Report
@@ -631,6 +908,9 @@ func (s *server) runJob(j *job) {
 	}
 	s.putReport(j.reportKey, blob)
 	j.log(fmt.Sprintf("report stored (%d bytes)", len(blob)))
+	// Only full cold runs feed the Retry-After estimate — cache hits
+	// would drag the mean toward zero and make shed hints dishonest.
+	s.observeService(time.Since(started))
 	j.setStatus("done")
 }
 
@@ -687,6 +967,17 @@ type job struct {
 	ctx        context.Context
 	cancel     context.CancelFunc
 
+	// cold marks a job admitted without a pre-existing report; coldCharge
+	// is what it added to the server's in-flight ledger (released when the
+	// worker retires it).
+	cold       bool
+	coldCharge int64
+
+	// onEvent, when set, is the durable-journal hook: invoked under j.mu
+	// on every status transition, so the journal's per-job order is
+	// exactly the status order.
+	onEvent func(status, errmsg string)
+
 	mu       sync.Mutex
 	status   string
 	err      string
@@ -711,10 +1002,29 @@ func (j *job) watch() <-chan struct{} {
 	return j.changed
 }
 
+// journalLocked appends the transition to the durable journal, when one
+// is bound (j.mu held).
+func (j *job) journalLocked(status, errmsg string) {
+	if j.onEvent != nil {
+		j.onEvent(status, errmsg)
+	}
+}
+
+// journalInitial journals the "queued" record, unless a racing cancel
+// already turned the job terminal (its record is then the only one).
+func (j *job) journalInitial() {
+	j.mu.Lock()
+	if j.status == "queued" {
+		j.journalLocked("queued", "")
+	}
+	j.mu.Unlock()
+}
+
 func (j *job) setStatus(status string) {
 	j.mu.Lock()
 	j.status = status
 	j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: status})
+	j.journalLocked(status, "")
 	j.bumpLocked()
 	j.mu.Unlock()
 }
@@ -726,21 +1036,25 @@ func (j *job) cancelIfQueued() {
 	if j.status == "queued" {
 		j.status = "canceled"
 		j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: "canceled"})
+		j.journalLocked("canceled", "")
 		j.bumpLocked()
 	}
 	j.mu.Unlock()
 }
 
 // abortIfNotTerminal turns a job that will never run terminal with status
-// "aborted" (the drain path), reporting whether it did the flip.
-func (j *job) abortIfNotTerminal() bool {
+// "aborted" (drain, or a refused enqueue), reporting whether it did the
+// flip.
+func (j *job) abortIfNotTerminal(reason string) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if terminalStatus(j.status) {
 		return false
 	}
 	j.status = "aborted"
-	j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: "aborted: server draining"})
+	j.err = reason
+	j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: "aborted: " + reason})
+	j.journalLocked("aborted", reason)
 	j.bumpLocked()
 	return true
 }
@@ -758,6 +1072,7 @@ func (j *job) finishErr(err error) {
 		j.status = "timeout"
 		j.err = err.Error()
 		j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: "timeout: " + err.Error()})
+		j.journalLocked("timeout", j.err)
 		j.bumpLocked()
 		j.mu.Unlock()
 		return
@@ -766,6 +1081,7 @@ func (j *job) finishErr(err error) {
 	j.status = "failed"
 	j.err = err.Error()
 	j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: "failed: " + err.Error()})
+	j.journalLocked("failed", j.err)
 	j.bumpLocked()
 	j.mu.Unlock()
 }
@@ -782,6 +1098,7 @@ func (j *job) failPanic(p any, stack []byte) {
 	j.err = fmt.Sprintf("panic: %v", p)
 	j.stack = string(stack)
 	j.progress = append(j.progress, progressEvent{Time: time.Now(), Msg: j.err})
+	j.journalLocked("failed", j.err)
 	j.bumpLocked()
 }
 

@@ -25,11 +25,19 @@
 // /v1/reports/{key} negotiating text or canonical JSON via Accept) with
 // production failure semantics — per-job deadlines (-job-timeout,
 // terminal status "timeout"), panic isolation (a panicking job ends
-// "failed" with its stack recorded; the worker pool survives), and a
+// "failed" with its stack recorded; the worker pool survives), a
 // SIGTERM graceful drain (-drain-timeout: /readyz flips unready, new
-// submissions get 503 + Retry-After, queued jobs end "aborted"). Package
-// opgate/client is the matching Go client: submit/poll/follow/cancel
-// with context-aware exponential backoff that honors Retry-After.
+// submissions get 503 + Retry-After, queued jobs end "aborted"),
+// load-aware admission control (-shed-watermark/-max-inflight-bytes:
+// uncached submissions shed first, with Retry-After derived from
+// observed service times), and SIGKILL crash recovery via a durable job
+// journal (-journal, on by default with -store: a restarted process
+// re-adopts in-flight jobs under their original IDs and never re-runs
+// work whose report is already stored). Package opgate/client is the
+// matching Go client: submit/poll/follow/cancel with context-aware
+// exponential backoff that honors Retry-After (typed RetryAfterError),
+// and a Run that survives server restarts by falling back to the
+// content-addressed report when a job vanishes mid-wait.
 // internal/core is a thin compatibility shim; the examples/ programs use
 // the public API only. See internal/harness for the per-experiment
 // drivers and DESIGN.md for the full system inventory. The root package

@@ -236,3 +236,82 @@ func TestChaosIntermittentFaultsNeverCorrupt(t *testing.T) {
 		t.Fatal("store unusable after faults cleared")
 	}
 }
+
+// TestChaosDirentLossAfterPut: Put fsyncs the objects directory after the
+// atomic rename, so a power cut immediately after a successful Put cannot
+// lose the directory entry — the durability half of the store's claim
+// that a stored object survives the process.
+func TestChaosDirentLossAfterPut(t *testing.T) {
+	s, ff := chaosStore(t, 0)
+	key := deriveKey("durable", "object")
+	if err := s.Put(key, []byte("survives power loss")); err != nil {
+		t.Fatal(err)
+	}
+	if lost := ff.DropUnsyncedRenames(); lost != 0 {
+		t.Fatalf("power cut lost %d objects Put should have made durable", lost)
+	}
+	if data, ok := s.Get(key); !ok || string(data) != "survives power loss" {
+		t.Fatal("object gone after simulated power cut")
+	}
+
+	// Control: the knob really does model the hazard — a rename with no
+	// directory sync afterwards is lost by the same power cut.
+	raw := deriveKey("volatile", "object")
+	tmp := filepath.Join(s.root, "tmp", "control")
+	if err := os.WriteFile(tmp, []byte("unsynced"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ff.Rename(tmp, s.objectPath(raw)); err != nil {
+		t.Fatal(err)
+	}
+	if lost := ff.DropUnsyncedRenames(); lost != 1 {
+		t.Fatalf("control rename without dir sync survived the power cut (lost %d)", lost)
+	}
+	if _, ok := s.Get(raw); ok {
+		t.Fatal("unsynced control object still readable after the power cut")
+	}
+}
+
+// TestChaosSyncFaults: failed durability barriers degrade exactly like
+// other put failures — counted, surfaced to the best-effort caller, never
+// corrupting — and the already-installed object of a failed directory
+// sync remains valid and readable (only its crash durability is in doubt).
+func TestChaosSyncFaults(t *testing.T) {
+	s, ff := chaosStore(t, 0)
+	key := deriveKey("sync", "file")
+
+	// File-sync failure: staged write aborts cleanly, no object, no litter.
+	ff.FailSyncs(1)
+	if err := s.Put(key, []byte("payload")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put under file-sync fault returned %v, want ErrInjected", err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("failed file sync left a readable object")
+	}
+	if names := listDir(t, s, "tmp"); len(names) != 0 {
+		t.Fatalf("failed file sync left staging litter: %v", names)
+	}
+
+	// Directory-sync failure: the second Sync call in a Put is the SyncDir;
+	// fault only that one. The object is installed and valid — the error
+	// reports degraded durability, not a bad write.
+	ff.Clear()
+	ff.FailSyncs(2)
+	err := s.Put(key, []byte("installed"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put under dir-sync fault returned %v, want ErrInjected", err)
+	}
+	if data, ok := s.Get(key); !ok || string(data) != "installed" {
+		t.Fatal("dir-sync failure lost a validly installed object")
+	}
+	if st := s.Stats(); st.PutErrors != 2 {
+		t.Fatalf("stats after sync faults: %+v", st)
+	}
+	ff.Clear()
+	if err := s.Put(key, []byte("recovered")); err != nil {
+		t.Fatalf("put after sync faults cleared: %v", err)
+	}
+	if data, ok := s.Get(key); !ok || string(data) != "recovered" {
+		t.Fatal("store did not recover once sync faults cleared")
+	}
+}

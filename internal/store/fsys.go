@@ -21,14 +21,26 @@ type FS interface {
 	Remove(name string) error
 	Rename(oldpath, newpath string) error
 	CreateTemp(dir, pattern string) (File, error)
+	// OpenFile is the append-path entry point (the job journal writes
+	// through it); flag and perm carry os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// SyncDir fsyncs a directory: a rename is only durable across power
+	// loss once the parent directory's entry for it has reached disk.
+	SyncDir(name string) error
 }
 
-// File is the slice of *os.File the store's staged writes need.
+// File is the slice of *os.File the store's staged writes and the job
+// journal's appends need.
 type File interface {
 	io.Writer
 	Name() string
+	Sync() error
 	Close() error
 }
+
+// OSFS returns the production filesystem FS — the seam's default, for
+// callers outside the package (the job journal) that need it explicitly.
+func OSFS() FS { return osFS{} }
 
 // osFS is the production FS: the real filesystem, verbatim.
 type osFS struct{}
@@ -41,3 +53,19 @@ func (osFS) Chtimes(name string, a, m time.Time) error    { return os.Chtimes(na
 func (osFS) Remove(name string) error                     { return os.Remove(name) }
 func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
 func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

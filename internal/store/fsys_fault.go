@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 )
@@ -22,7 +23,12 @@ var ErrInjected = errors.New("store: injected fault")
 //   - torn renames: the install "succeeds" but the destination holds a
 //     truncated object — the crashed-mid-rename / lying-disk shape that
 //     only content validation can catch;
-//   - remove failures: evictions and corrupt-object drops error.
+//   - remove failures: evictions and corrupt-object drops error;
+//   - sync failures: File.Sync and SyncDir error, so durability barriers
+//     (not just data writes) are a faultable class;
+//   - lost dirents: renames whose parent directory is never SyncDir'd
+//     are tracked, and DropUnsyncedRenames simulates the power cut that
+//     loses exactly those directory entries.
 //
 // Faults are configured per-class with an every-Nth cadence (1 = always,
 // 0 = never) and may be re-armed or cleared at any time, including while
@@ -37,9 +43,14 @@ type FaultFS struct {
 	renameEvery int  // fail every Nth Rename
 	tornEvery   int  // tear every Nth Rename (succeeds, truncated content)
 	removeEvery int  // fail every Nth Remove
+	syncEvery   int  // fail every Nth Sync (file) or SyncDir call
 
-	writes, renames, removes int // per-class call counters
-	injected                 int // faults fabricated so far
+	writes, renames, removes, syncs int // per-class call counters
+	injected                        int // faults fabricated so far
+
+	// unsynced tracks files installed by Rename whose parent directory
+	// has not been SyncDir'd since: the set a power cut may lose.
+	unsynced map[string][]string // parent dir → installed paths
 }
 
 // NewFaultFS returns a FaultFS with no faults armed: it behaves exactly
@@ -83,13 +94,46 @@ func (f *FaultFS) FailRemoves(every int) {
 	f.removes = 0
 }
 
+// FailSyncs arms durability-barrier faults: every Nth Sync — a staged
+// file's fsync or a directory's SyncDir — errors (0 = disarm). A failed
+// SyncDir leaves its directory's renames in the unsynced set, so a
+// subsequent DropUnsyncedRenames models the power cut the barrier was
+// supposed to survive.
+func (f *FaultFS) FailSyncs(every int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncEvery = every
+	f.syncs = 0
+}
+
+// DropUnsyncedRenames simulates a power cut that loses the directory
+// entries of every rename not yet covered by a SyncDir on its parent:
+// those files are removed from disk. It returns how many were lost.
+// Writers that sync their directories (as the store and journal must)
+// lose nothing here — that is exactly the property under test.
+func (f *FaultFS) DropUnsyncedRenames() int {
+	f.mu.Lock()
+	pending := f.unsynced
+	f.unsynced = nil
+	f.mu.Unlock()
+	lost := 0
+	for _, paths := range pending {
+		for _, p := range paths {
+			if os.Remove(p) == nil {
+				lost++
+			}
+		}
+	}
+	return lost
+}
+
 // Clear disarms every fault class; the counters of injected faults and
 // per-class calls keep their values.
 func (f *FaultFS) Clear() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.writeEvery, f.shortWrites = 0, false
-	f.renameEvery, f.tornEvery, f.removeEvery = 0, 0, 0
+	f.renameEvery, f.tornEvery, f.removeEvery, f.syncEvery = 0, 0, 0, 0
 }
 
 // Injected returns how many faults have been fabricated so far — the
@@ -134,6 +178,18 @@ func (f *FaultFS) Remove(name string) error {
 	return f.fs.Remove(name)
 }
 
+// noteRename records an installed path as volatile until its parent
+// directory is synced.
+func (f *FaultFS) noteRename(newpath string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.unsynced == nil {
+		f.unsynced = map[string][]string{}
+	}
+	dir := filepath.Dir(newpath)
+	f.unsynced[dir] = append(f.unsynced[dir], newpath)
+}
+
 func (f *FaultFS) Rename(oldpath, newpath string) error {
 	f.mu.Lock()
 	var torn, fail bool
@@ -146,6 +202,9 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 		f.injected++
 	}
 	f.mu.Unlock()
+	if !fail {
+		defer f.noteRename(newpath)
+	}
 	switch {
 	case fail:
 		return fmt.Errorf("%w: rename %s", ErrInjected, oldpath)
@@ -178,10 +237,50 @@ func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
 	return &faultFile{f: f, File: file}, nil
 }
 
-// faultFile intercepts Write to inject full-disk and short-write faults.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.fs.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, File: file}, nil
+}
+
+// syncDue advances the shared sync counter and reports whether this Sync
+// or SyncDir call must fault.
+func (f *FaultFS) syncDue() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fault := due(&f.syncs, f.syncEvery)
+	if fault {
+		f.injected++
+	}
+	return fault
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	if f.syncDue() {
+		// The barrier failed: the directory's renames stay volatile, so a
+		// later DropUnsyncedRenames can take them.
+		return fmt.Errorf("%w: syncdir %s", ErrInjected, name)
+	}
+	f.mu.Lock()
+	delete(f.unsynced, name)
+	f.mu.Unlock()
+	return f.fs.SyncDir(name)
+}
+
+// faultFile intercepts Write to inject full-disk and short-write faults
+// and Sync to inject durability-barrier faults.
 type faultFile struct {
 	f *FaultFS
 	File
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.f.syncDue() {
+		return fmt.Errorf("%w: sync %s", ErrInjected, ff.Name())
+	}
+	return ff.File.Sync()
 }
 
 func (ff *faultFile) Write(p []byte) (int, error) {

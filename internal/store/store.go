@@ -151,8 +151,11 @@ func (s *Store) Get(key Key) ([]byte, bool) {
 	return data, true
 }
 
-// Put stores data under key via a temp file and an atomic rename, then
-// sweeps the store back under its byte budget.
+// Put stores data under key via a temp file (synced before the atomic
+// rename) and fsyncs the objects directory afterwards — rename without a
+// parent-directory fsync can lose the entry on power failure, which would
+// silently undermine the store's durability claim. The sweep back under
+// the byte budget follows.
 func (s *Store) Put(key Key, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -169,6 +172,9 @@ func (s *Store) Put(key Key, data []byte) error {
 	}
 	tmp := f.Name()
 	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
 	cerr := f.Close()
 	if werr == nil {
 		werr = cerr
@@ -180,6 +186,13 @@ func (s *Store) Put(key Key, data []byte) error {
 		s.fs.Remove(tmp)
 		s.putErrors.Add(1)
 		return fmt.Errorf("store: put %s: %w", key, werr)
+	}
+	if derr := s.fs.SyncDir(filepath.Join(s.root, "objects")); derr != nil {
+		// The object is installed and valid — readers can use it now — but
+		// its directory entry may not survive a power cut. Surface the
+		// degraded durability without undoing a good write.
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: put %s: sync dir: %w", key, derr)
 	}
 	s.puts.Add(1)
 	if s.limit > 0 {

@@ -69,5 +69,6 @@ check() {
 check opgate/internal/emu 85.0
 check opgate/internal/progen 90.0
 check opgate/internal/store 88.0
+check opgate/internal/journal 85.0
 
 exit $fail
