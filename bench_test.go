@@ -410,6 +410,46 @@ func BenchmarkSuiteParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkThresholdSweep measures the single-pass threshold sweep
+// against its pre-sweep equivalent — independent per-threshold runs on
+// fresh suites. The sweep leg profiles each workload exactly once for
+// the whole paper grid (asserted via the TrainEmulations probe); the
+// perthreshold leg repays the train emulation and baseline analysis at
+// every grid point. Both report grid throughput as cells/s.
+func BenchmarkThresholdSweep(b *testing.B) {
+	grid := harness.Thresholds
+	b.Run("sweep", func(b *testing.B) {
+		var trains int64
+		for i := 0; i < b.N; i++ {
+			s := harness.NewSuite(true)
+			if _, err := s.Sweep(benchCtx, "fig4", grid); err != nil {
+				b.Fatal(err)
+			}
+			trains = s.TrainEmulations()
+			if want := int64(len(s.Names())); trains != want {
+				b.Fatalf("sweep performed %d train emulations, want %d", trains, want)
+			}
+		}
+		b.ReportMetric(float64(len(grid)*b.N)/b.Elapsed().Seconds(), "cells/s")
+		b.ReportMetric(float64(trains), "train-emus")
+	})
+	b.Run("perthreshold", func(b *testing.B) {
+		var trains int64
+		for i := 0; i < b.N; i++ {
+			trains = 0
+			for _, th := range grid {
+				s := harness.NewSuite(true)
+				if _, err := s.RunExperiment(benchCtx, "fig4", th); err != nil {
+					b.Fatal(err)
+				}
+				trains += s.TrainEmulations()
+			}
+		}
+		b.ReportMetric(float64(len(grid)*b.N)/b.Elapsed().Seconds(), "cells/s")
+		b.ReportMetric(float64(trains), "train-emus")
+	})
+}
+
 func BenchmarkEmulator(b *testing.B) {
 	w, _ := workload.ByName("compress")
 	p, _ := w.Build(workload.Train)

@@ -9,9 +9,14 @@ import "time"
 type Request struct {
 	Experiment string  `json:"experiment"`
 	Threshold  float64 `json:"threshold,omitempty"` // VRS threshold; 0 means the server default
-	Synthetic  string  `json:"synthetic,omitempty"`
-	Seed       uint64  `json:"seed,omitempty"`
-	Class      string  `json:"class,omitempty"`
+	// Thresholds turns the request into a threshold sweep of Experiment
+	// (which must then name a single experiment, not "all"): one job
+	// evaluating the whole grid with a shared train profile per workload.
+	// Exclusive with Threshold.
+	Thresholds []float64 `json:"thresholds,omitempty"`
+	Synthetic  string    `json:"synthetic,omitempty"`
+	Seed       uint64    `json:"seed,omitempty"`
+	Class      string    `json:"class,omitempty"`
 }
 
 // Job is the wire form of a server-side job, also used as the ?follow=1

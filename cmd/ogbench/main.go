@@ -6,6 +6,16 @@
 //	ogbench -experiment fig8           # one experiment
 //	ogbench -quick                     # evaluate on train inputs (faster)
 //	ogbench -quick -format json        # canonical machine-readable reports
+//	ogbench -experiment fig6 -sweep 110:30:20   # threshold sweep (one train pass per workload)
+//
+// -sweep evaluates one experiment across a VRS threshold grid —
+// "lo:hi:step" with inclusive endpoints (walked in either direction), or
+// an explicit comma list like "110,90,70" — sharing the train profile and
+// baseline simulations across the grid so K thresholds cost one train
+// emulation per workload. Text output prints one table per threshold;
+// -format json emits the canonical opgate.sweep/v1 document. With -store,
+// each cell is content-addressed like a single-threshold report, so a
+// grown grid recomputes only missing cells.
 //
 // The workload space can be widened beyond the eight kernels with
 // seed-driven synthetic programs (internal/progen):
@@ -36,6 +46,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"opgate"
@@ -45,6 +57,7 @@ func main() {
 	experiment := flag.String("experiment", "all", "table1|table2|table3|fig2..fig15|ablation-opcodes|ablation-analysis|all")
 	quick := flag.Bool("quick", false, "evaluate on train inputs (faster)")
 	threshold := flag.Float64("threshold", opgate.DefaultThreshold, "VRS specialization threshold (nJ)")
+	sweep := flag.String("sweep", "", `VRS threshold sweep grid: "lo:hi:step" (inclusive endpoints) or a comma list, e.g. 110:30:20; requires a single -experiment`)
 	format := flag.String("format", "text", "report renderer: text|json")
 	synthetic := flag.String("synthetic", "", `synthetic workloads: "all" (curated set), a comma-separated family list, or exact syn:family/class/seed names`)
 	seed := flag.Uint64("seed", 1, "generator seed for -synthetic family lists")
@@ -88,6 +101,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ogbench: -store-limit requires -store")
 		os.Exit(2)
 	}
+	var grid []float64
+	if *sweep != "" {
+		if *experiment == "all" {
+			fmt.Fprintln(os.Stderr, "ogbench: -sweep needs one -experiment, not all")
+			os.Exit(2)
+		}
+		if explicit["threshold"] {
+			fmt.Fprintln(os.Stderr, "ogbench: -sweep and -threshold are exclusive (the sweep is the threshold axis)")
+			os.Exit(2)
+		}
+		grid, err = parseSweepGrid(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ogbench: -sweep:", err)
+			os.Exit(2)
+		}
+	}
 	sess, err := opgate.NewSession(opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ogbench:", err)
@@ -98,6 +127,22 @@ func main() {
 	defer stop()
 
 	run := func() error {
+		if *sweep != "" {
+			sw, err := sess.Sweep(ctx, *experiment, grid...)
+			if err != nil {
+				return err
+			}
+			if *format == "json" {
+				b, err := opgate.EncodeSweep(sw)
+				if err != nil {
+					return err
+				}
+				_, err = os.Stdout.Write(b)
+				return err
+			}
+			_, err = fmt.Fprint(os.Stdout, sw.Format())
+			return err
+		}
 		var reports []*opgate.Report
 		if *experiment == "all" {
 			reports, err = sess.RunAll(ctx)
@@ -124,4 +169,54 @@ func main() {
 			"ogbench: emulations=%d store: hits=%d misses=%d puts=%d put-errors=%d evictions=%d\n",
 			sess.Emulations(), st.Hits, st.Misses, st.Puts, st.PutErrors, st.Evictions)
 	}
+}
+
+// parseSweepGrid parses -sweep's grid syntax: "lo:hi:step" walks from lo
+// toward hi (either direction, inclusive endpoints) by a positive step;
+// a comma-separated list names the thresholds explicitly.
+func parseSweepGrid(spec string) ([]float64, error) {
+	if strings.Contains(spec, ":") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%q: want lo:hi:step", spec)
+		}
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		step, err3 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%q: want numeric lo:hi:step", spec)
+		}
+		if step <= 0 {
+			return nil, fmt.Errorf("step %g: must be > 0 (direction comes from lo and hi)", step)
+		}
+		dir := 1.0
+		if hi < lo {
+			dir = -1
+		}
+		// A hair of slack on the inclusive endpoint absorbs binary float
+		// accumulation (e.g. 0.1-sized steps).
+		slack := step * 1e-9
+		var grid []float64
+		for i := 0; ; i++ {
+			v := lo + dir*step*float64(i)
+			if (dir > 0 && v > hi+slack) || (dir < 0 && v < hi-slack) {
+				break
+			}
+			if len(grid) >= 1000 {
+				return nil, fmt.Errorf("%q: more than 1000 grid points", spec)
+			}
+			grid = append(grid, v)
+		}
+		return grid, nil
+	}
+	parts := strings.Split(spec, ",")
+	grid := make([]float64, len(parts))
+	for i, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("threshold %q: %v", part, err)
+		}
+		grid[i] = v
+	}
+	return grid, nil
 }

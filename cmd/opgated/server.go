@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -287,6 +288,34 @@ type (
 	progressEvent     = client.ProgressEvent
 )
 
+// sweepSpec packs a sweep job's whole definition into the experiment
+// field — "sweep:fig6@110,90,70,50,30" — so the durable journal record
+// (whose codec carries a single experiment string and threshold) holds
+// everything recovery needs to re-run the job unchanged.
+func sweepSpec(id string, thresholds []float64) string {
+	return "sweep:" + id + "@" + opgate.FormatThresholds(thresholds)
+}
+
+// parseSweepSpec inverts sweepSpec; ok is false for plain experiment IDs.
+func parseSweepSpec(spec string) (id string, thresholds []float64, ok bool) {
+	rest, found := strings.CutPrefix(spec, "sweep:")
+	if !found {
+		return "", nil, false
+	}
+	id, grid, found := strings.Cut(rest, "@")
+	if !found || id == "" || grid == "" {
+		return "", nil, false
+	}
+	for _, part := range strings.Split(grid, ",") {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return "", nil, false
+		}
+		thresholds = append(thresholds, v)
+	}
+	return id, thresholds, true
+}
+
 // validExperiment reports whether id names a runnable experiment.
 func validExperiment(id string) bool {
 	if id == "all" {
@@ -315,16 +344,38 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	// A sweep arrives as an explicit grid (thresholds) or already in spec
+	// form ("sweep:fig6@110,90" — e.g. re-submitted from a job listing);
+	// normalize the spec form into the grid form first.
+	if id, ths, ok := parseSweepSpec(req.Experiment); ok && len(req.Thresholds) == 0 {
+		req.Experiment, req.Thresholds = id, ths
+	}
+	sweep := len(req.Thresholds) > 0
 	if !validExperiment(req.Experiment) {
 		httpError(w, http.StatusBadRequest, "unknown experiment %q (GET /v1/experiments lists them)", req.Experiment)
 		return
 	}
-	if req.Threshold == 0 {
-		req.Threshold = opgate.DefaultThreshold
-	}
-	if req.Threshold < 0 {
-		httpError(w, http.StatusBadRequest, "threshold %g: must be > 0", req.Threshold)
-		return
+	if sweep {
+		if req.Experiment == "all" {
+			httpError(w, http.StatusBadRequest, "a sweep needs a single experiment, not %q", req.Experiment)
+			return
+		}
+		if req.Threshold != 0 {
+			httpError(w, http.StatusBadRequest, "threshold and thresholds are exclusive (the grid is the threshold axis)")
+			return
+		}
+		if err := opgate.ValidThresholds(req.Thresholds); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		if req.Threshold == 0 {
+			req.Threshold = opgate.DefaultThreshold
+		}
+		if req.Threshold < 0 {
+			httpError(w, http.StatusBadRequest, "threshold %g: must be > 0", req.Threshold)
+			return
+		}
 	}
 	seed, class := req.Seed, req.Class
 	seedClassSet := seed != 0 || class != ""
@@ -346,7 +397,16 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Session.ReportKey is a thin wrapper over the same derivation
 	// (asserted in the root package's tests) — so a submission that will
 	// be rejected or coalesced never touches the bounded session cache.
+	// Sweep jobs address their assembled grid document via SweepKey; the
+	// per-threshold cells inside it are additionally content-addressed
+	// under their individual ReportKeys by Session.Sweep, so a grown grid
+	// only computes missing cells.
+	experiment := req.Experiment
 	key := store.ReportKey(req.Experiment, s.cfg.Quick, req.Threshold, names, store.SelfIdentity())
+	if sweep {
+		experiment = sweepSpec(req.Experiment, req.Thresholds)
+		key = store.SweepKey(req.Experiment, s.cfg.Quick, req.Thresholds, names, store.SelfIdentity())
+	}
 	s.mu.Lock()
 	if j, ok := s.pending[key]; ok && j.ctx.Err() == nil {
 		// An identical live request is already queued or running: coalesce
@@ -394,7 +454,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		id:         fmt.Sprintf("job-%06d", s.seq),
-		experiment: req.Experiment,
+		experiment: experiment,
 		threshold:  req.Threshold,
 		synthetics: names,
 		reportKey:  key,
@@ -614,6 +674,13 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	reports, err := opgate.DecodeReports(data)
 	if err != nil {
+		// Sweep jobs store the opgate.sweep/v1 document instead of a
+		// report sequence; render its text form.
+		if sw, serr := opgate.DecodeSweep(data); serr == nil {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, sw.Format())
+			return
+		}
 		// Keys embed the executable identity, so an undecodable blob is
 		// damage, not skew; treat it as the miss it is.
 		httpError(w, http.StatusNotFound, "stored report is not decodable: %v", err)
@@ -879,6 +946,23 @@ func (s *server) runJob(j *job) {
 
 	started := time.Now()
 	sess := s.sessionFor(j.synthetics)
+	if id, ths, ok := parseSweepSpec(j.experiment); ok {
+		sw, err := sess.Sweep(ctx, id, ths...)
+		if err != nil {
+			j.finishErr(err)
+			return
+		}
+		blob, err := opgate.EncodeSweep(sw)
+		if err != nil {
+			j.finishErr(err)
+			return
+		}
+		s.putReport(j.reportKey, blob)
+		j.log(fmt.Sprintf("sweep report stored (%d bytes, %d thresholds)", len(blob), len(ths)))
+		s.observeService(time.Since(started))
+		j.setStatus("done")
+		return
+	}
 	at := opgate.AtThreshold(j.threshold)
 	var reports []*opgate.Report
 	if j.experiment == "all" {

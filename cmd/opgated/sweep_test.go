@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	"opgate"
+)
+
+// TestSweepLifecycle drives a threshold-sweep job end to end: submit a
+// grid, await the job, and fetch the sweep document in both its text and
+// canonical JSON forms — the latter byte-identical to a direct
+// Session.Sweep encoding.
+func TestSweepLifecycle(t *testing.T) {
+	ts := newTestServer(t, nil)
+
+	v, code := submit(t, ts, `{"experiment":"fig4","thresholds":[110,50]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("sweep submit returned %d", code)
+	}
+	// The job carries its whole definition in spec form — what the
+	// journal records and a resubmission can replay.
+	if v.Experiment != "sweep:fig4@110,50" {
+		t.Fatalf("sweep job experiment = %q, want spec form", v.Experiment)
+	}
+	done := awaitJob(t, ts, v.ID)
+	if done.Status != "done" {
+		t.Fatalf("sweep job ended %q (%s)", done.Status, done.Error)
+	}
+
+	// Text form: one table per threshold under a sweep header.
+	resp, err := http.Get(ts.URL + "/v1/reports/" + done.ReportKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var text bytes.Buffer
+	if _, err := text.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep report fetch returned %d: %s", resp.StatusCode, text.String())
+	}
+	for _, want := range []string{"==== sweep fig4", "--- threshold 110 ---", "--- threshold 50 ---"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("sweep text render is missing %q:\n%s", want, text.String())
+		}
+	}
+
+	// JSON form: the canonical opgate.sweep/v1 document, byte-identical
+	// to encoding a direct Session.Sweep.
+	req, err := http.NewRequest("GET", ts.URL+"/v1/reports/"+done.ReportKey, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	jresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var jgot bytes.Buffer
+	if _, err := jgot.ReadFrom(jresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := opgate.DecodeSweep(jgot.Bytes())
+	if err != nil {
+		t.Fatalf("served sweep is not canonical JSON: %v", err)
+	}
+	sess, err := opgate.NewSession(opgate.WithQuick(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sess.Sweep(context.Background(), "fig4", 110, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sw.Equal(want) {
+		t.Fatal("served sweep drifted from a direct Session.Sweep")
+	}
+	wantBlob, err := opgate.EncodeSweep(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jgot.Bytes(), wantBlob) {
+		t.Fatal("served sweep JSON is not the canonical encoding")
+	}
+}
+
+// TestSweepSpecResubmission: a sweep job resubmitted in its spec form
+// ("sweep:fig4@110,50" — e.g. copied from a job listing or replayed from
+// the journal) derives the same report key and is served warm.
+func TestSweepSpecResubmission(t *testing.T) {
+	ts := newTestServer(t, nil)
+
+	first, code := submit(t, ts, `{"experiment":"fig4","thresholds":[110,50]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit returned %d", code)
+	}
+	if done := awaitJob(t, ts, first.ID); done.Status != "done" {
+		t.Fatalf("sweep job ended %q (%s)", done.Status, done.Error)
+	}
+
+	redo, code := submit(t, ts, `{"experiment":"sweep:fig4@110,50"}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("spec-form resubmit returned %d", code)
+	}
+	if redo.ReportKey != first.ReportKey {
+		t.Fatalf("spec form derived key %s, grid form %s", redo.ReportKey, first.ReportKey)
+	}
+	done := awaitJob(t, ts, redo.ID)
+	if done.Status != "done" {
+		t.Fatalf("resubmitted sweep ended %q (%s)", done.Status, done.Error)
+	}
+	cached := false
+	for _, ev := range done.Progress {
+		if strings.Contains(ev.Msg, "served from cache") {
+			cached = true
+		}
+	}
+	if !cached {
+		t.Fatalf("resubmitted sweep re-rendered instead of serving warm: %+v", done.Progress)
+	}
+}
+
+// TestSweepRequestValidation: malformed sweep submissions are 400s, and
+// a sweep's key is distinct from any single-threshold key.
+func TestSweepRequestValidation(t *testing.T) {
+	ts := newTestServer(t, nil)
+	for name, body := range map[string]string{
+		"all-experiments":     `{"experiment":"all","thresholds":[110,50]}`,
+		"both-axes":           `{"experiment":"fig4","threshold":50,"thresholds":[110,50]}`,
+		"empty-grid-spec":     `{"experiment":"sweep:fig4@"}`,
+		"bad-grid-spec":       `{"experiment":"sweep:fig4@junk"}`,
+		"unknown-exp":         `{"experiment":"fig99","thresholds":[50]}`,
+		"unknown-exp-spec":    `{"experiment":"sweep:fig99@50"}`,
+		"duplicate-threshold": `{"experiment":"fig4","thresholds":[50,50]}`,
+		"negative-threshold":  `{"experiment":"fig4","thresholds":[-50]}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, code := submit(t, ts, body); code != http.StatusBadRequest {
+				t.Fatalf("submit %s returned %d, want 400", body, code)
+			}
+		})
+	}
+
+	// The sweep document address never collides with a cell address.
+	sweep, code := submit(t, ts, `{"experiment":"fig4","thresholds":[50]}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("one-point sweep returned %d", code)
+	}
+	single, code := submit(t, ts, `{"experiment":"fig4","threshold":50}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("single submit returned %d", code)
+	}
+	if sweep.ReportKey == single.ReportKey {
+		t.Fatal("a one-point sweep shares its report key with a plain run")
+	}
+	for _, id := range []string{sweep.ID, single.ID} {
+		if done := awaitJob(t, ts, id); done.Status != "done" {
+			t.Fatalf("job %s ended %q (%s)", id, done.Status, done.Error)
+		}
+	}
+}

@@ -19,6 +19,20 @@
 // reproduces the classic aligned layout byte-for-byte, JSONRenderer the
 // machine-readable opgate.reports/v1 encoding.
 //
+// Session.Sweep evaluates one experiment across a whole VRS threshold
+// grid in a single pass: the train emulation and TNV profile behind each
+// workload's specialization are threshold-independent, so a K-point
+// sweep costs one profiling pass per workload plus K cheap selections —
+// while every cell stays bit-identical to a plain Run at that threshold.
+// The result is a SweepReport (schema opgate.sweep/v1, canonical
+// EncodeSweep/DecodeSweep codec, per-threshold Diff). With a store
+// attached each cell is filed under the same address a single-threshold
+// run uses, so a grown grid recomputes only its missing cells. `ogbench
+// -sweep lo:hi:step` (or an explicit comma list) drives a sweep from the
+// CLI, and an opgated experiment request carrying a "thresholds" grid
+// submits one as a single job, journalled for crash recovery as a
+// sweep:<id>@<grid> spec.
+//
 // Everything else adapts this surface. `ogbench` renders a session to
 // stdout (-format text|json); `opgated` serves it over HTTP (POST
 // /v1/experiments, DELETE /v1/jobs/{id} for cancellation, GET

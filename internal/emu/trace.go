@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"errors"
 	"fmt"
 
 	"opgate/internal/prog"
@@ -211,12 +212,18 @@ func (r *TraceRecorder) Consume(batch []Event) {
 	}
 }
 
-// Trace returns the captured trace, or an error when the capture exceeded
-// the memory budget (callers should fall back to live emulation).
+// ErrTraceBudget marks a capture abandoned for exceeding its memory
+// budget — the one expected TraceRecorder failure. Callers distinguish it
+// (errors.Is) from genuine capture defects, which must propagate.
+var ErrTraceBudget = errors.New("trace capture exceeded the memory budget")
+
+// Trace returns the captured trace, or an error wrapping ErrTraceBudget
+// when the capture exceeded the memory budget (callers should fall back
+// to live emulation).
 func (r *TraceRecorder) Trace() (*Trace, error) {
 	if r.overflow {
-		return nil, fmt.Errorf("emu: trace capture exceeded the %d-byte budget after %d events",
-			r.budget, r.events)
+		return nil, fmt.Errorf("emu: %w (%d bytes) after %d events",
+			ErrTraceBudget, r.budget, r.events)
 	}
 	chunks := append([]RecBatch(nil), r.chunks...)
 	if len(chunks) > 0 {

@@ -1,6 +1,7 @@
 package emu_test
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
@@ -164,8 +165,8 @@ func TestTraceBudgetOverflow(t *testing.T) {
 	if err := m.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rec.Trace(); err == nil {
-		t.Fatal("over-budget capture returned a trace")
+	if _, err := rec.Trace(); !errors.Is(err, emu.ErrTraceBudget) {
+		t.Fatalf("over-budget capture: err = %v, want ErrTraceBudget", err)
 	}
 }
 

@@ -110,7 +110,7 @@ func (s *Suite) Figure8(ctx context.Context) (*Report, error) {
 		ID:      "fig8",
 		Title:   "Energy savings per benchmark: VRP and VRS at each threshold",
 		Unit:    "fraction",
-		Columns: []string{"VRP", "VRS 110nJ", "VRS 90nJ", "VRS 70nJ", "VRS 50nJ", "VRS 30nJ"},
+		Columns: vrpVRSColumns(),
 		Percent: true,
 	}
 	err := perBenchmarkRows(ctx, s, rep, func(name string) ([]float64, error) {
@@ -154,7 +154,7 @@ func (s *Suite) Figure9(ctx context.Context) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep.Rows = append(rep.Rows, structureRow("VRS "+itoa(int(th))+"nJ", per, total))
+		rep.Rows = append(rep.Rows, structureRow(vrsLabel(th, "nJ"), per, total))
 	}
 	return rep, nil
 }
@@ -169,7 +169,7 @@ func (s *Suite) Figure10(ctx context.Context) (*Report, error) {
 		Percent: true,
 	}
 	for _, th := range Thresholds {
-		rep.Columns = append(rep.Columns, "VRS "+itoa(int(th))+"nJ")
+		rep.Columns = append(rep.Columns, vrsLabel(th, "nJ"))
 	}
 	err := perBenchmarkRows(ctx, s, rep, func(name string) ([]float64, error) {
 		base, err := s.Baseline(name)
@@ -198,7 +198,7 @@ func (s *Suite) Figure11(ctx context.Context) (*Report, error) {
 		ID:      "fig11",
 		Title:   "Energy-Delay^2 benefits",
 		Unit:    "fraction",
-		Columns: []string{"VRP", "VRS 110nJ", "VRS 90nJ", "VRS 70nJ", "VRS 50nJ", "VRS 30nJ"},
+		Columns: vrpVRSColumns(),
 		Percent: true,
 	}
 	err := perBenchmarkRows(ctx, s, rep, func(name string) ([]float64, error) {
@@ -278,19 +278,20 @@ func (s *Suite) Figure14(ctx context.Context) (*Report, error) {
 // hardware, and combined configuration.
 func (s *Suite) Figure15(ctx context.Context, threshold float64) (*Report, error) {
 	vrsV := vrsVariant(threshold)
+	vrsL := vrsLabel(threshold, "")
 	configs := []struct {
 		label   string
 		variant string
 		mode    power.GatingMode
 	}{
 		{"VRP", "vrp", power.GateSoftware},
-		{"VRS 50", vrsV, power.GateSoftware},
+		{vrsL, vrsV, power.GateSoftware},
 		{"hdw size", "base", power.GateHWSize},
 		{"hdw significance", "base", power.GateHWSignificance},
 		{"VRP + hdw size", "vrp", power.GateCooperative},
 		{"VRP + hdw significance", "vrp", power.GateCooperativeSig},
-		{"VRS 50 + hdw size", vrsV, power.GateCooperative},
-		{"VRS 50 + hdw significance", vrsV, power.GateCooperativeSig},
+		{vrsL + " + hdw size", vrsV, power.GateCooperative},
+		{vrsL + " + hdw significance", vrsV, power.GateCooperativeSig},
 	}
 	rep := &Report{
 		ID:      "fig15",

@@ -202,7 +202,7 @@ func (s *Suite) Figure7(ctx context.Context, threshold float64) (*Report, error)
 	variants := []struct{ label, variant string }{
 		{"non", "base"},
 		{"VRP", "vrp"},
-		{"VRS 50uJ", vrsVariant(threshold)},
+		{vrsLabel(threshold, "uJ"), vrsVariant(threshold)},
 	}
 	rep := &Report{
 		ID:      "fig7",
@@ -236,18 +236,22 @@ func vrsVariant(threshold float64) string {
 	return fmt.Sprintf("vrs%g", threshold)
 }
 
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
+// vrsLabel names a VRS report row/column for a threshold with the same %g
+// rendering as vrsVariant, so non-integral grids (reachable via Sweep and
+// AtThreshold) never truncate or collide in report labels.
+func vrsLabel(threshold float64, unit string) string {
+	return fmt.Sprintf("VRS %g%s", threshold, unit)
+}
+
+// vrpVRSColumns is the x-axis of Figs. 8 and 11: VRP followed by the
+// paper's VRS threshold grid.
+func vrpVRSColumns() []string {
+	cols := make([]string, 0, 1+len(Thresholds))
+	cols = append(cols, "VRP")
+	for _, th := range Thresholds {
+		cols = append(cols, vrsLabel(th, "nJ"))
 	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
+	return cols
 }
 
 // Figure12 reproduces the data-size distribution: the share of dynamic

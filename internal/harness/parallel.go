@@ -46,23 +46,22 @@ func (s *Suite) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// mapNames runs fn once per suite benchmark, fanned out across a bounded
-// worker pool, and returns the per-benchmark results in suite order (so
-// report assembly — including float accumulation — is deterministic
-// regardless of completion order). The first error in suite order wins.
+// mapSlice runs fn once per item, fanned out across a worker-bounded
+// pool, and returns the per-item results in input order (so report
+// assembly — including float accumulation — is deterministic regardless
+// of completion order). The first error in input order wins.
 //
-// Cancelling ctx stops scheduling further per-workload work — including
-// while blocked waiting for a pool slot — and returns the context's
-// error once in-flight workloads have drained.
-func mapNames[T any](ctx context.Context, s *Suite, fn func(name string) (T, error)) ([]T, error) {
-	names := s.Names()
-	out := make([]T, len(names))
-	errs := make([]error, len(names))
-	sem := make(chan struct{}, s.workers())
+// Cancelling ctx stops scheduling further work — including while blocked
+// waiting for a pool slot — and returns the context's error once
+// in-flight items have drained.
+func mapSlice[S, T any](ctx context.Context, workers int, items []S, fn func(item S) (T, error)) ([]T, error) {
+	out := make([]T, len(items))
+	errs := make([]error, len(items))
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	var canceled error
 schedule:
-	for i, name := range names {
+	for i, item := range items {
 		if err := ctx.Err(); err != nil {
 			canceled = err
 			break
@@ -74,11 +73,11 @@ schedule:
 			break schedule
 		}
 		wg.Add(1)
-		go func(i int, name string) {
+		go func(i int, item S) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out[i], errs[i] = fn(name)
-		}(i, name)
+			out[i], errs[i] = fn(item)
+		}(i, item)
 	}
 	wg.Wait()
 	if canceled != nil {
@@ -90,4 +89,10 @@ schedule:
 		}
 	}
 	return out, nil
+}
+
+// mapNames is mapSlice over the suite's benchmark names with the suite's
+// worker bound — the fan-out every experiment driver uses.
+func mapNames[T any](ctx context.Context, s *Suite, fn func(name string) (T, error)) ([]T, error) {
+	return mapSlice(ctx, s.workers(), s.Names(), fn)
 }

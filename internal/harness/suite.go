@@ -34,7 +34,10 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync/atomic"
 
 	"opgate/internal/emu"
@@ -96,6 +99,7 @@ type Suite struct {
 
 	progs    memo[progKey, *prog.Program]
 	vrps     memo[vrpKey, *vrp.Result]
+	profiles memo[string, *vrs.Profile]
 	vrss     memo[vrsKey, *vrs.Result]
 	variants memo[variantKey, *prog.Program]
 	traces   memo[variantKey, *emu.Trace]
@@ -103,7 +107,8 @@ type Suite struct {
 	sims     memo[simKey, *uarch.Result]
 	hists    memo[variantKey, vrp.WidthHistogram]
 
-	emuRuns atomic.Int64
+	emuRuns   atomic.Int64
+	trainRuns atomic.Int64
 }
 
 type progKey struct {
@@ -195,10 +200,13 @@ func (s *Suite) VRP(name string, mode vrp.Mode) (*vrp.Result, error) {
 	})
 }
 
-// VRS returns (cached) the specialization of the evaluation binary at a
-// threshold, profiled on the train binary (the paper's methodology).
-func (s *Suite) VRS(name string, threshold float64) (*vrs.Result, error) {
-	return s.vrss.do(vrsKey{name, threshold}, func() (*vrs.Result, error) {
+// vrsProfile returns (cached) the threshold-independent VRS profile of a
+// workload: the train emulation, block/value profiles, baseline VRP and
+// candidate set shared by every threshold's specialization. One profile
+// serves the whole threshold grid — a K-point sweep performs exactly one
+// train emulation per workload.
+func (s *Suite) vrsProfile(name string) (*vrs.Profile, error) {
+	return s.profiles.do(name, func() (*vrs.Profile, error) {
 		trainP, err := s.Program(name, workload.Train)
 		if err != nil {
 			return nil, err
@@ -207,7 +215,26 @@ func (s *Suite) VRS(name string, threshold float64) (*vrs.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := vrs.Specialize(trainP, refP, vrs.Options{Threshold: threshold, Power: s.Power})
+		s.trainRuns.Add(1)
+		pf, err := vrs.NewProfile(trainP, refP, vrs.Options{Power: s.Power})
+		if err != nil {
+			return nil, fmt.Errorf("harness: vrs profile %s: %w", name, err)
+		}
+		return pf, nil
+	})
+}
+
+// VRS returns (cached) the specialization of the evaluation binary at a
+// threshold, profiled on the train binary (the paper's methodology). The
+// train profile is shared across thresholds, so only the first threshold
+// of a workload pays the train emulation.
+func (s *Suite) VRS(name string, threshold float64) (*vrs.Result, error) {
+	return s.vrss.do(vrsKey{name, threshold}, func() (*vrs.Result, error) {
+		pf, err := s.vrsProfile(name)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pf.Select(threshold)
 		if err != nil {
 			return nil, fmt.Errorf("harness: vrs %s@%v: %w", name, threshold, err)
 		}
@@ -234,8 +261,17 @@ func (s *Suite) variantProgram(name, variant string) (*prog.Program, error) {
 			}
 			return r.Apply(), nil
 		default: // "vrs<threshold>"
-			var th float64
-			if _, err := fmt.Sscanf(variant, "vrs%g", &th); err != nil {
+			// Parse the whole suffix and insist on the canonical spelling
+			// (vrsVariant(th) == variant): Sscanf-style prefix matching
+			// would let "vrs50junk" alias vrs50, and a non-canonical
+			// spelling like "vrs050" would fork the memo and trace keys of
+			// an existing variant.
+			suffix, ok := strings.CutPrefix(variant, "vrs")
+			if !ok {
+				return nil, fmt.Errorf("harness: unknown variant %q", variant)
+			}
+			th, err := strconv.ParseFloat(suffix, 64)
+			if err != nil || !(th > 0) || vrsVariant(th) != variant {
 				return nil, fmt.Errorf("harness: unknown variant %q", variant)
 			}
 			r, err := s.VRS(name, th)
@@ -279,6 +315,12 @@ func modeGroup(mode power.GatingMode) (int, int) {
 // (name, variant) — is asserted against this probe in tests. Emulations
 // inside VRP/VRS construction (train profiling runs) are not counted.
 func (s *Suite) Emulations() int64 { return s.emuRuns.Load() }
+
+// TrainEmulations returns how many VRS train profiling emulations the
+// suite has performed — one per workload whose VRS profile has been
+// built, however many thresholds were selected from it. A K-threshold
+// sweep leaves this at exactly len(Names()): the profile-reuse probe.
+func (s *Suite) TrainEmulations() int64 { return s.trainRuns.Load() }
 
 // Sim returns (cached) the timing+energy simulation of a program variant
 // under a gating mode. In the fused pipeline the request is served from
@@ -399,8 +441,13 @@ func (s *Suite) traceWith(name, variant string, rider func(*prog.Program) (emu.S
 			return nil, fmt.Errorf("harness: trace %s/%s: %w", name, variant, err)
 		}
 		tr, err := rec.Trace()
-		if err != nil {
+		if errors.Is(err, emu.ErrTraceBudget) {
 			return nil, nil // over budget: remember the miss
+		}
+		if err != nil {
+			// A genuine capture defect is not a cache miss — surfacing it
+			// beats silently re-emulating a broken recorder forever.
+			return nil, fmt.Errorf("harness: trace %s/%s: %w", name, variant, err)
 		}
 		if s.Store != nil {
 			// Best-effort write-back: a full disk or unwritable root must

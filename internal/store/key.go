@@ -21,6 +21,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 
 	"opgate/internal/prog"
@@ -88,6 +89,25 @@ func ReportKey(experiment string, quick bool, threshold float64, synthetics []st
 	parts := make([]string, 0, 5+len(synthetics))
 	parts = append(parts, "report/v2", experiment,
 		fmt.Sprintf("quick=%t", quick), fmt.Sprintf("threshold=%g", threshold),
+		identity.String())
+	parts = append(parts, synthetics...)
+	return deriveKey(parts...)
+}
+
+// SweepKey addresses one experiment's encoded threshold sweep
+// (harness.EncodeSweep): ReportKey's dimensions with the whole canonical
+// %g-rendered grid in place of the single threshold. The per-threshold
+// cells inside the sweep are additionally stored under their own
+// ReportKey addresses — the grid document is a view; the cells are the
+// content-addressed unit of reuse.
+func SweepKey(experiment string, quick bool, thresholds []float64, synthetics []string, identity Hash) Key {
+	grid := make([]string, len(thresholds))
+	for i, th := range thresholds {
+		grid[i] = fmt.Sprintf("%g", th)
+	}
+	parts := make([]string, 0, 5+len(synthetics))
+	parts = append(parts, "sweep/v1", experiment,
+		fmt.Sprintf("quick=%t", quick), "thresholds="+strings.Join(grid, ","),
 		identity.String())
 	parts = append(parts, synthetics...)
 	return deriveKey(parts...)

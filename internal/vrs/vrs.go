@@ -133,11 +133,33 @@ func (r *Result) Apply() *prog.Program {
 	return r.FinalVRP.Apply()
 }
 
-// Specialize runs the full VRS pipeline. trainProg is the binary with the
-// profiling input baked in; refProg is the binary to transform. The two
-// must share a static code layout (same instruction sequence, possibly
-// different immediates/data), which is the builder's contract.
-func Specialize(trainProg, refProg *prog.Program, opts Options) (*Result, error) {
+// Profile is the threshold-independent front half of the VRS pipeline:
+// the baseline analysis of the reference binary, the train-input block
+// profile (instruction counts), candidate identification at the minimum
+// possible cost, and the candidates' TNV value profiles. None of it
+// depends on Options.Threshold — the threshold only enters the §3.4
+// cost/benefit test — so one Profile serves a whole threshold grid via
+// Select, paying the train emulation exactly once instead of once per
+// point.
+//
+// A Profile is immutable after NewProfile returns: Select only reads the
+// shared tables (and transforms fresh per-call state), so concurrent
+// Select calls at different thresholds are safe.
+type Profile struct {
+	refProg  *prog.Program
+	base     *vrp.Result
+	counts   []int64
+	cands    []candidate
+	profiler *emu.Profiler
+	opts     Options // defaults applied; Threshold ignored by Select
+}
+
+// NewProfile runs the threshold-independent stages of VRS. trainProg is
+// the binary with the profiling input baked in; refProg is the binary to
+// transform. The two must share a static code layout (same instruction
+// sequence, possibly different immediates/data), which is the builder's
+// contract. opts.Threshold is ignored here — pass it to Select.
+func NewProfile(trainProg, refProg *prog.Program, opts Options) (*Profile, error) {
 	opts.defaults()
 	if len(trainProg.Ins) != len(refProg.Ins) {
 		return nil, fmt.Errorf("vrs: train and ref binaries have different layouts (%d vs %d instructions)",
@@ -164,43 +186,75 @@ func Specialize(trainProg, refProg *prog.Program, opts Options) (*Result, error)
 	counts := trainMachine.InsCount
 	trainTrace, traceErr := rec.Trace()
 
-	cands := findCandidates(refProg, base, counts, opts)
-	if len(cands) == 0 {
-		final, err := vrp.Analyze(refProg, opts.VRP)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{
-			Original:    refProg,
-			Transformed: refProg,
-			FinalVRP:    final,
-			GuardIns:    map[int]bool{},
-			SpecIns:     map[int]bool{},
-		}, nil
+	pf := &Profile{refProg: refProg, base: base, counts: counts, opts: opts}
+	pf.cands = findCandidates(refProg, base, counts, opts)
+	if len(pf.cands) == 0 {
+		return pf, nil
 	}
 
 	// Step 2 (§3.3): value-profile the candidates on the train input,
 	// replaying the captured trace's packed records (index and value
 	// columns) through the profiler. Only when the capture blew its
 	// memory budget does the profiler fall back to a second emulation.
-	idxs := make([]int, len(cands))
-	for i, c := range cands {
+	idxs := make([]int, len(pf.cands))
+	for i, c := range pf.cands {
 		idxs[i] = c.InsIdx
 	}
-	profiler := emu.NewProfiler(idxs)
+	pf.profiler = emu.NewProfiler(idxs)
 	if traceErr == nil {
-		trainTrace.Records(profiler)
+		trainTrace.Records(pf.profiler)
 	} else {
 		trainMachine.Reset()
 		trainMachine.Sink = nil
-		profiler.Attach(trainMachine)
+		pf.profiler.Attach(trainMachine)
 		if err := trainMachine.Run(); err != nil {
 			return nil, fmt.Errorf("vrs: value profiling run: %w", err)
 		}
 	}
+	return pf, nil
+}
+
+// NumCandidates reports how many specialization candidates survived the
+// preliminary minimum-cost filter.
+func (pf *Profile) NumCandidates() int { return len(pf.cands) }
+
+// Select runs the cheap per-threshold back half of the pipeline — the
+// §3.4 energy cost/benefit filter and the code transformation — against
+// the shared profile. It performs no emulation; a K-threshold grid over
+// one Profile costs one train pass total.
+func (pf *Profile) Select(threshold float64) (*Result, error) {
+	opts := pf.opts
+	opts.Threshold = threshold
+	if opts.Threshold == 0 {
+		opts.Threshold = 50
+	}
+	if len(pf.cands) == 0 {
+		// Deterministic no-op at every threshold: the transformed program
+		// is the reference binary under its baseline analysis.
+		return &Result{
+			Original:    pf.refProg,
+			Transformed: pf.refProg,
+			FinalVRP:    pf.base,
+			GuardIns:    map[int]bool{},
+			SpecIns:     map[int]bool{},
+		}, nil
+	}
 
 	// Step 3 (§3.4): evaluate profitability with the profiled ranges and
-	// transform the survivors.
-	points := evaluate(refProg, base, cands, profiler, counts, opts)
-	return transform(refProg, base, points, counts, opts)
+	// transform the survivors. evaluate builds fresh Points from the
+	// candidate list, so the shared profile stays untouched.
+	points := evaluate(pf.refProg, pf.base, pf.cands, pf.profiler, pf.counts, opts)
+	return transform(pf.refProg, pf.base, points, pf.counts, opts)
+}
+
+// Specialize runs the full VRS pipeline at opts.Threshold: NewProfile
+// followed by one Select. Callers evaluating several thresholds should
+// hold the Profile and Select per threshold instead, amortizing the train
+// emulation across the grid.
+func Specialize(trainProg, refProg *prog.Program, opts Options) (*Result, error) {
+	pf, err := NewProfile(trainProg, refProg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pf.Select(opts.Threshold)
 }

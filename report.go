@@ -26,10 +26,19 @@ type TextRenderer = harness.TextRenderer
 // JSONRenderer emits the canonical JSON report encoding.
 type JSONRenderer = harness.JSONRenderer
 
+// SweepReport is one experiment's report grid across a threshold sweep
+// (Session.Sweep): Cells[i] holds the report at Thresholds[i]. See
+// SweepReport.Format, SweepReport.Cell and SweepReport.Diff.
+type SweepReport = harness.SweepReport
+
+// SweepCellDiff is one differing cell between two sweeps (SweepReport.Diff).
+type SweepCellDiff = harness.SweepCellDiff
+
 // Schema identifiers of the canonical JSON encodings.
 const (
 	ReportSchema    = harness.ReportSchema
 	ReportSetSchema = harness.ReportSetSchema
+	SweepSchema     = harness.SweepSchema
 )
 
 // EncodeReports renders a report sequence in its canonical, stable,
@@ -41,6 +50,30 @@ func EncodeReports(reports []*Report) ([]byte, error) {
 // DecodeReports parses a canonical report-sequence encoding.
 func DecodeReports(data []byte) ([]*Report, error) {
 	return harness.DecodeReports(data)
+}
+
+// FormatThresholds renders a threshold grid in its canonical
+// comma-separated %g form — the spelling shared by sweep report labels,
+// store keys and opgated sweep specs.
+func FormatThresholds(thresholds []float64) string {
+	return harness.FormatThresholds(thresholds)
+}
+
+// ValidThresholds rejects grids Sweep cannot evaluate: empty,
+// non-positive values, or duplicates.
+func ValidThresholds(thresholds []float64) error {
+	return harness.ValidThresholds(thresholds)
+}
+
+// EncodeSweep renders a sweep in its canonical, stable,
+// content-addressable JSON form.
+func EncodeSweep(sw *SweepReport) ([]byte, error) {
+	return harness.EncodeSweep(sw)
+}
+
+// DecodeSweep parses a canonical sweep encoding.
+func DecodeSweep(data []byte) (*SweepReport, error) {
+	return harness.DecodeSweep(data)
 }
 
 // Store is the persistent, content-addressed artifact store shared by

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Regenerate BENCH_sim.json, the machine-readable trajectory of the
 # simulation-substrate benchmarks: emulated MIPS, trace capture/replay
-# throughput, and the fused-vs-unfused cold figure matrices.
+# throughput, the fused-vs-unfused cold figure matrices, and the
+# single-pass threshold sweep (grid cells/s vs independent per-threshold
+# runs).
 #
 #   scripts/bench_sim.sh              # default: 3 timed iterations, 3 samples
 #   BENCHTIME=1x COUNT=1 scripts/bench_sim.sh # quick smoke
@@ -12,7 +14,7 @@
 set -e
 cd "$(dirname "$0")/.."
 
-BENCHES='BenchmarkEmuMIPS|BenchmarkTraceReplayMIPS|BenchmarkFigure3Matrix|BenchmarkFigureFamilyMatrix'
+BENCHES='BenchmarkEmuMIPS|BenchmarkTraceReplayMIPS|BenchmarkFigure3Matrix|BenchmarkFigureFamilyMatrix|BenchmarkThresholdSweep'
 
 # Run the benchmarks to a temp file first so a failing run aborts the
 # script (POSIX sh has no pipefail) instead of overwriting the committed

@@ -3,6 +3,7 @@ package opgate
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"opgate/internal/harness"
 	"opgate/internal/store"
@@ -88,14 +89,20 @@ func WithTraceBudget(bytes int64) Option {
 // WithSynthetics appends generated workloads — registry names like
 // "syn:narrow/small/7", typically from ExpandSynthetics — to the paper's
 // eight benchmarks in every experiment. Unknown names fail construction.
+// Duplicates (within one call or across repeated options) are dropped
+// order-preserving, like ExpandSynthetics: a repeated name would
+// otherwise duplicate report rows, double-weight the AVG row, and fork
+// the report key away from the deduplicated spelling of the same set.
 func WithSynthetics(names ...string) Option {
 	return func(s *Session) error {
 		for _, name := range names {
 			if _, err := workload.ByName(name); err != nil {
 				return err
 			}
+			if !slices.Contains(s.suite.Synthetics, name) {
+				s.suite.Synthetics = append(s.suite.Synthetics, name)
+			}
 		}
-		s.suite.Synthetics = append(s.suite.Synthetics, names...)
 		return nil
 	}
 }
@@ -188,6 +195,89 @@ func (s *Session) RunAll(ctx context.Context, opts ...RunOption) ([]*Report, err
 	return s.suite.RunAll(ctx, p.threshold)
 }
 
+// Sweep evaluates one experiment across a grid of VRS thresholds,
+// returning the threshold-axis report (schema "opgate.sweep/v1"). The
+// grid shares every threshold-independent artifact — one train emulation
+// per workload, one baseline/VRP simulation set — so a K-point sweep
+// costs one profile pass plus K cheap selections, not K full runs; each
+// cell is bit-identical to Run at that threshold.
+//
+// With a store attached the cells are content-addressed individually,
+// under the exact ReportKey a single-threshold run is filed at: a grown
+// grid recomputes only its missing cells, and a stored cell serves
+// opgated's warm check for the matching single-threshold job (and vice
+// versa).
+func (s *Session) Sweep(ctx context.Context, id string, thresholds ...float64) (*SweepReport, error) {
+	e, ok := harness.LookupExperiment(id)
+	if !ok {
+		return nil, fmt.Errorf("opgate: unknown experiment %q", id)
+	}
+	if err := harness.ValidThresholds(thresholds); err != nil {
+		return nil, fmt.Errorf("opgate: sweep %s: %w", id, err)
+	}
+	cells := make([]*Report, len(thresholds))
+	var missing []float64
+	if s.suite.Store != nil {
+		for i, th := range thresholds {
+			data, ok := s.suite.Store.Get(s.cellKey(id, th))
+			if ok {
+				if rs, err := harness.DecodeReports(data); err == nil && len(rs) == 1 && rs[0].ID == id {
+					cells[i] = rs[0]
+					continue
+				}
+				// Undecodable or foreign blob: treat as a miss, recompute.
+			}
+			missing = append(missing, th)
+		}
+	} else {
+		missing = thresholds
+	}
+	if len(missing) > 0 {
+		fresh, err := s.suite.Sweep(ctx, id, missing)
+		if err != nil {
+			return nil, err
+		}
+		next := 0
+		for i := range cells {
+			if cells[i] == nil {
+				cells[i] = fresh.Cells[next]
+				next++
+			}
+		}
+		if s.suite.Store != nil {
+			for j, r := range fresh.Cells {
+				blob, err := EncodeReports([]*Report{r})
+				if err != nil {
+					return nil, err
+				}
+				// Best-effort write-back, like trace capture.
+				_ = s.suite.Store.Put(s.cellKey(id, missing[j]), blob)
+			}
+		}
+	}
+	return &SweepReport{
+		ID: e.ID, Title: e.Title,
+		Thresholds: slices.Clone(thresholds),
+		Cells:      cells,
+	}, nil
+}
+
+// cellKey is the store address of one sweep cell: exactly the ReportKey
+// of a single-threshold run, so sweeps and plain runs warm each other.
+func (s *Session) cellKey(id string, threshold float64) store.Key {
+	return store.ReportKey(id, s.suite.Quick, threshold,
+		s.suite.Synthetics, store.SelfIdentity())
+}
+
+// SweepKey derives the content address a store files this session's
+// encoded sweep document under — ReportKey's dimensions with the whole
+// grid as the threshold axis. The per-cell addresses remain ReportKey;
+// this addresses the assembled grid view (opgated's sweep jobs).
+func (s *Session) SweepKey(id string, thresholds ...float64) string {
+	return string(store.SweepKey(id, s.suite.Quick, thresholds,
+		s.suite.Synthetics, store.SelfIdentity()))
+}
+
 // ReportKey derives the content address a store files this session's
 // report sequence under for one experiment ID (or "all"): the experiment,
 // input class, threshold, workload set and the running executable's
@@ -205,6 +295,11 @@ func (s *Session) ReportKey(id string, opts ...RunOption) string {
 // Emulations reports how many functional emulations the session has
 // performed (the warm-store probe: zero on a fully warm run).
 func (s *Session) Emulations() int64 { return s.suite.Emulations() }
+
+// TrainEmulations reports how many VRS train profiling emulations the
+// session has performed — one per workload profiled, however many
+// thresholds were evaluated (the sweep profile-reuse probe).
+func (s *Session) TrainEmulations() int64 { return s.suite.TrainEmulations() }
 
 // Threshold returns the session's default VRS threshold.
 func (s *Session) Threshold() float64 { return s.threshold }

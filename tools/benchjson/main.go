@@ -7,9 +7,11 @@
 //	go test -run '^$' -bench ... . | go run ./tools/benchjson > BENCH_sim.json
 //
 // With -compare it doubles as a regression gate: the fresh document is
-// still written to stdout, but each MIPS-bearing benchmark is also checked
-// against the baseline document, and the process exits nonzero when any
-// throughput fell more than -tolerance below its committed value:
+// still written to stdout, but every throughput metric a benchmark
+// reports — "MIPS", or any higher-is-better rate unit ending in "/s"
+// (e.g. the sweep benchmark's "cells/s") — is also checked against the
+// baseline document, and the process exits nonzero when any throughput
+// fell more than -tolerance below its committed value:
 //
 //	go test -bench ... . | go run ./tools/benchjson \
 //	    -compare BENCH_sim.json -tolerance 0.25 > fresh.json
@@ -45,8 +47,8 @@ type Document struct {
 }
 
 func main() {
-	compare := flag.String("compare", "", "baseline JSON document to gate MIPS throughput against")
-	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional MIPS regression vs the baseline")
+	compare := flag.String("compare", "", "baseline JSON document to gate throughput metrics against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional throughput regression vs the baseline")
 	flag.Parse()
 
 	doc, err := parseBenchOutput(os.Stdin)
@@ -68,12 +70,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	lines, failed := compareMIPS(baseline, doc, *tolerance)
+	lines, failed := compareThroughput(baseline, doc, *tolerance)
 	for _, l := range lines {
 		fmt.Fprintln(os.Stderr, "benchjson:", l)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: FAIL: MIPS regression beyond %.0f%% tolerance vs %s\n",
+		fmt.Fprintf(os.Stderr, "benchjson: FAIL: throughput regression beyond %.0f%% tolerance vs %s\n",
 			*tolerance*100, *compare)
 		os.Exit(1)
 	}
@@ -117,58 +119,84 @@ func loadDocument(path string) (Document, error) {
 	return doc, nil
 }
 
-// compareMIPS gates the fresh document against a baseline: every benchmark
-// that reports a MIPS metric in both documents must stay within the
-// fractional tolerance of its baseline throughput. A benchmark appearing
-// several times on a side (go test -count=N) is represented by its best
-// run — scheduler noise only ever subtracts throughput, so a genuine
-// regression slows every sample while a noisy one leaves the best intact.
-// Higher is better, so only drops count; benchmarks present on one side
-// only are reported but never fail the gate (renames and removals are
-// deliberate acts, caught by the diff of BENCH_sim.json itself). Returns
-// human-readable verdict lines and whether the gate failed.
-func compareMIPS(baseline, fresh Document, tolerance float64) (lines []string, failed bool) {
-	freshMIPS := bestMIPS(fresh)
-	baseMIPS := bestMIPS(baseline)
+// throughputMetric reports whether a metric unit is a higher-is-better
+// throughput the gate should watch: "MIPS" (the historical spelling) or
+// any rate unit ending in "/s" ("cells/s", "reports/s", ...). Counters
+// and physical quantities ("train-emus", "nJ-saved-64to8") stay
+// informational.
+func throughputMetric(unit string) bool {
+	return unit == "MIPS" || strings.HasSuffix(unit, "/s")
+}
+
+// compareThroughput gates the fresh document against a baseline: every
+// throughput metric a benchmark reports in both documents must stay
+// within the fractional tolerance of its baseline value. A benchmark
+// appearing several times on a side (go test -count=N) is represented by
+// its best run — scheduler noise only ever subtracts throughput, so a
+// genuine regression slows every sample while a noisy one leaves the
+// best intact. Higher is better, so only drops count; metrics present on
+// one side only are reported but never fail the gate (renames and
+// removals are deliberate acts, caught by the diff of BENCH_sim.json
+// itself). Returns human-readable verdict lines and whether the gate
+// failed.
+func compareThroughput(baseline, fresh Document, tolerance float64) (lines []string, failed bool) {
+	freshBest := bestThroughput(fresh)
+	baseBest := bestThroughput(baseline)
 	seen := map[string]bool{}
 	for _, b := range baseline.Benchmarks {
-		old, ok := baseMIPS[b.Name]
-		if !ok || old <= 0 || seen[b.Name] {
-			continue
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			if throughputMetric(unit) {
+				units = append(units, unit)
+			}
 		}
-		seen[b.Name] = true
-		now, ok := freshMIPS[b.Name]
-		if !ok {
-			lines = append(lines, fmt.Sprintf("skip %s: no MIPS in fresh run (removed or renamed?)", b.Name))
-			continue
+		sort.Strings(units)
+		for _, unit := range units {
+			key := b.Name + " " + unit
+			old, ok := baseBest[key]
+			if !ok || old <= 0 || seen[key] {
+				continue
+			}
+			seen[key] = true
+			now, ok := freshBest[key]
+			if !ok {
+				lines = append(lines, fmt.Sprintf("skip %s: no %s in fresh run (removed or renamed?)", b.Name, unit))
+				continue
+			}
+			delete(freshBest, key)
+			change := now/old - 1
+			verdict := "ok  "
+			if change < -tolerance {
+				verdict = "FAIL"
+				failed = true
+			}
+			lines = append(lines, fmt.Sprintf("%s %s: %.1f %s vs baseline %.1f (%+.1f%%)",
+				verdict, b.Name, now, unit, old, change*100))
 		}
-		delete(freshMIPS, b.Name)
-		change := now/old - 1
-		verdict := "ok  "
-		if change < -tolerance {
-			verdict = "FAIL"
-			failed = true
-		}
-		lines = append(lines, fmt.Sprintf("%s %s: %.1f MIPS vs baseline %.1f (%+.1f%%)",
-			verdict, b.Name, now, old, change*100))
 	}
-	newNames := make([]string, 0, len(freshMIPS))
-	for name := range freshMIPS {
-		newNames = append(newNames, name)
+	newKeys := make([]string, 0, len(freshBest))
+	for key := range freshBest {
+		newKeys = append(newKeys, key)
 	}
-	sort.Strings(newNames)
-	for _, name := range newNames {
-		lines = append(lines, fmt.Sprintf("note %s: new benchmark, no baseline", name))
+	sort.Strings(newKeys)
+	for _, key := range newKeys {
+		lines = append(lines, fmt.Sprintf("note %s: new benchmark metric, no baseline", key))
 	}
 	return lines, failed
 }
 
-// bestMIPS maps each benchmark name to its best (highest) MIPS sample.
-func bestMIPS(doc Document) map[string]float64 {
+// bestThroughput maps each "benchmark-name unit" pair to its best
+// (highest) throughput sample.
+func bestThroughput(doc Document) map[string]float64 {
 	best := map[string]float64{}
 	for _, b := range doc.Benchmarks {
-		if v, ok := b.Metrics["MIPS"]; ok && v > best[b.Name] {
-			best[b.Name] = v
+		for unit, v := range b.Metrics {
+			if !throughputMetric(unit) {
+				continue
+			}
+			if key := b.Name + " " + unit; v > best[key] {
+				best[key] = v
+			}
 		}
 	}
 	return best

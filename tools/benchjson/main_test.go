@@ -44,7 +44,7 @@ func bench(name string, mips float64) Benchmark {
 	return Benchmark{Name: name, Iters: 1, Metrics: map[string]float64{"MIPS": mips}}
 }
 
-func TestCompareMIPS(t *testing.T) {
+func TestCompareThroughput(t *testing.T) {
 	baseline := Document{Benchmarks: []Benchmark{
 		bench("A", 100),
 		bench("B", 100),
@@ -54,12 +54,12 @@ func TestCompareMIPS(t *testing.T) {
 
 	t.Run("within-tolerance", func(t *testing.T) {
 		fresh := Document{Benchmarks: []Benchmark{bench("A", 80), bench("B", 120), bench("New", 10)}}
-		lines, failed := compareMIPS(baseline, fresh, 0.25)
+		lines, failed := compareThroughput(baseline, fresh, 0.25)
 		if failed {
 			t.Fatalf("gate failed on a -20%% drop with 25%% tolerance:\n%s", strings.Join(lines, "\n"))
 		}
 		joined := strings.Join(lines, "\n")
-		for _, want := range []string{"ok   A:", "ok   B:", "skip Gone:", "note New:"} {
+		for _, want := range []string{"ok   A:", "ok   B:", "skip Gone:", "note New MIPS:"} {
 			if !strings.Contains(joined, want) {
 				t.Fatalf("verdicts missing %q:\n%s", want, joined)
 			}
@@ -68,7 +68,7 @@ func TestCompareMIPS(t *testing.T) {
 
 	t.Run("regression-fails", func(t *testing.T) {
 		fresh := Document{Benchmarks: []Benchmark{bench("A", 74), bench("B", 100)}}
-		lines, failed := compareMIPS(baseline, fresh, 0.25)
+		lines, failed := compareThroughput(baseline, fresh, 0.25)
 		if !failed {
 			t.Fatalf("gate passed a -26%% regression:\n%s", strings.Join(lines, "\n"))
 		}
@@ -79,7 +79,7 @@ func TestCompareMIPS(t *testing.T) {
 
 	t.Run("missing-benchmark-does-not-fail", func(t *testing.T) {
 		fresh := Document{Benchmarks: []Benchmark{bench("A", 100), bench("B", 100)}}
-		if _, failed := compareMIPS(baseline, fresh, 0.25); failed {
+		if _, failed := compareThroughput(baseline, fresh, 0.25); failed {
 			t.Fatal("gate failed on a benchmark absent from the fresh run")
 		}
 	})
@@ -88,17 +88,56 @@ func TestCompareMIPS(t *testing.T) {
 		// Three samples of A (go test -count=3): one healthy sample means
 		// no regression, however noisy the others are.
 		fresh := Document{Benchmarks: []Benchmark{bench("A", 40), bench("A", 99), bench("A", 60), bench("B", 100)}}
-		if lines, failed := compareMIPS(baseline, fresh, 0.25); failed {
+		if lines, failed := compareThroughput(baseline, fresh, 0.25); failed {
 			t.Fatalf("gate failed despite a healthy best sample:\n%s", strings.Join(lines, "\n"))
 		}
 		// And when every sample regressed, the gate fires exactly once.
 		fresh = Document{Benchmarks: []Benchmark{bench("A", 40), bench("A", 50), bench("B", 100)}}
-		lines, failed := compareMIPS(baseline, fresh, 0.25)
+		lines, failed := compareThroughput(baseline, fresh, 0.25)
 		if !failed {
 			t.Fatalf("gate passed a uniform regression:\n%s", strings.Join(lines, "\n"))
 		}
 		if n := strings.Count(strings.Join(lines, "\n"), "FAIL A:"); n != 1 {
 			t.Fatalf("regressed benchmark reported %d times, want once:\n%s", n, strings.Join(lines, "\n"))
+		}
+	})
+
+	t.Run("rate-units-are-gated", func(t *testing.T) {
+		// A "/s" metric (the sweep benchmark's cells/s) is gated exactly
+		// like MIPS, while informational counters riding on the same
+		// benchmark line are ignored.
+		cellBench := func(cells, trains float64) Benchmark {
+			return Benchmark{Name: "Sweep", Iters: 1,
+				Metrics: map[string]float64{"cells/s": cells, "train-emus": trains}}
+		}
+		base := Document{Benchmarks: []Benchmark{cellBench(25, 8)}}
+		lines, failed := compareThroughput(base, Document{Benchmarks: []Benchmark{cellBench(10, 8)}}, 0.25)
+		if !failed {
+			t.Fatalf("gate passed a -60%% cells/s regression:\n%s", strings.Join(lines, "\n"))
+		}
+		// A counter regression (8 -> 40 train emulations) alone never
+		// fires the throughput gate.
+		lines, failed = compareThroughput(base, Document{Benchmarks: []Benchmark{cellBench(26, 40)}}, 0.25)
+		if failed {
+			t.Fatalf("gate fired on a non-throughput counter:\n%s", strings.Join(lines, "\n"))
+		}
+		if joined := strings.Join(lines, "\n"); !strings.Contains(joined, "ok   Sweep: 26.0 cells/s") {
+			t.Fatalf("cells/s verdict missing:\n%s", joined)
+		}
+	})
+
+	t.Run("multiple-metrics-per-benchmark", func(t *testing.T) {
+		multi := func(mips, rate float64) Benchmark {
+			return Benchmark{Name: "M", Iters: 1,
+				Metrics: map[string]float64{"MIPS": mips, "reports/s": rate}}
+		}
+		base := Document{Benchmarks: []Benchmark{multi(100, 100)}}
+		// Each metric is judged independently: a healthy MIPS does not
+		// excuse a collapsed reports/s.
+		lines, failed := compareThroughput(base, Document{Benchmarks: []Benchmark{multi(110, 10)}}, 0.25)
+		if !failed {
+			t.Fatalf("gate passed a regression hidden behind a healthy sibling metric:\n%s",
+				strings.Join(lines, "\n"))
 		}
 	})
 }
