@@ -8,7 +8,8 @@
 // codec.
 //
 //	c, _ := client.New("http://localhost:8080")
-//	reports, err := c.Run(ctx, client.Request{Experiment: "fig8"})
+//	res, err := c.Run(ctx, client.Request{Experiment: "fig8"})
+//	// res.Reports for single-threshold requests, res.Sweep for grids.
 //
 // POST submissions are deliberately retried only on 503: the server
 // coalesces identical live submissions onto one job, so a replay after a
@@ -369,14 +370,18 @@ func (c *Client) Follow(ctx context.Context, id string, fn func(Job) error) (Job
 	}
 }
 
-// Reports fetches and decodes the canonical report sequence stored under
-// a report key (Job.ReportKey); transient failures are retried.
-func (c *Client) Reports(ctx context.Context, key string) ([]*opgate.Report, error) {
+// ReportBytes fetches the canonical encoded document stored under a
+// report key (Job.ReportKey) — the exact bytes the server's store holds,
+// whatever their schema; transient failures are retried. Reports and
+// Sweep layer the two canonical codecs on top; ReportBytes itself is the
+// byte-identity path (fleet forwarding replicates documents through it
+// so no re-encode can perturb them).
+func (c *Client) ReportBytes(ctx context.Context, key string) ([]byte, error) {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		reports, err := c.reportsOnce(ctx, key)
+		blob, err := c.reportBytesOnce(ctx, key)
 		if err == nil {
-			return reports, nil
+			return blob, nil
 		}
 		var apiErr *APIError
 		if errors.As(err, &apiErr) && !retryableStatus(apiErr.Status) {
@@ -395,7 +400,7 @@ func (c *Client) Reports(ctx context.Context, key string) ([]*opgate.Report, err
 	}
 }
 
-func (c *Client) reportsOnce(ctx context.Context, key string) ([]*opgate.Report, error) {
+func (c *Client) reportBytesOnce(ctx context.Context, key string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/reports/"+key, nil)
 	if err != nil {
 		return nil, err
@@ -409,16 +414,60 @@ func (c *Client) reportsOnce(ctx context.Context, key string) ([]*opgate.Report,
 		return nil, responseError(resp)
 	}
 	defer resp.Body.Close()
-	blob, err := io.ReadAll(resp.Body)
+	return io.ReadAll(resp.Body)
+}
+
+// Reports fetches and decodes the canonical report sequence stored under
+// a report key (Job.ReportKey); transient failures are retried. A key
+// holding a sweep document fails to decode here — use Sweep (or Run,
+// which picks the codec by schema).
+func (c *Client) Reports(ctx context.Context, key string) ([]*opgate.Report, error) {
+	blob, err := c.ReportBytes(ctx, key)
 	if err != nil {
 		return nil, err
 	}
 	return opgate.DecodeReports(blob)
 }
 
+// Sweep fetches and decodes the threshold-sweep document stored under a
+// sweep key (the ReportKey of a job submitted with Thresholds);
+// transient failures are retried.
+func (c *Client) Sweep(ctx context.Context, key string) (*opgate.SweepReport, error) {
+	blob, err := c.ReportBytes(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	return opgate.DecodeSweep(blob)
+}
+
+// Result is a completed Run: the terminal job snapshot plus the decoded
+// document under its report key — Reports for single-threshold requests,
+// Sweep for requests carrying a Thresholds grid. Exactly one of the two
+// is non-nil.
+type Result struct {
+	Job     Job
+	Reports []*opgate.Report    // "opgate.reports/v1" documents
+	Sweep   *opgate.SweepReport // "opgate.sweep/v1" documents
+}
+
+// decodeResult picks the canonical codec by schema: the reports codec
+// first (the overwhelmingly common case), then the sweep codec.
+func decodeResult(blob []byte) (*Result, error) {
+	if reports, err := opgate.DecodeReports(blob); err == nil {
+		return &Result{Reports: reports}, nil
+	}
+	sweep, err := opgate.DecodeSweep(blob)
+	if err != nil {
+		return nil, fmt.Errorf("client: report document matches no known schema: %w", err)
+	}
+	return &Result{Sweep: sweep}, nil
+}
+
 // Run is the whole round trip: submit, wait for a terminal status, and
-// fetch the decoded reports. A job that ends any way but "done" is an
-// error naming the terminal status (and the server's recorded error).
+// fetch the decoded result — Result.Reports for a single-threshold
+// request, Result.Sweep for a Thresholds grid. A job that ends any way
+// but "done" is an error naming the terminal status (and the server's
+// recorded error).
 //
 // Run survives a full server restart: if the job vanishes mid-wait (404
 // from a process that restarted without re-adopting it), Run falls back
@@ -426,7 +475,7 @@ func (c *Client) reportsOnce(ctx context.Context, key string) ([]*opgate.Report,
 // a server that finished the work before dying, or redid it after, still
 // answers, and only a restart that genuinely lost the work surfaces an
 // error.
-func (c *Client) Run(ctx context.Context, req Request) ([]*opgate.Report, error) {
+func (c *Client) Run(ctx context.Context, req Request) (*Result, error) {
 	j, err := c.Submit(ctx, req)
 	if err != nil {
 		return nil, err
@@ -436,8 +485,11 @@ func (c *Client) Run(ctx context.Context, req Request) ([]*opgate.Report, error)
 	if err != nil {
 		var apiErr *APIError
 		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound && key != "" {
-			if reports, rerr := c.Reports(ctx, key); rerr == nil {
-				return reports, nil
+			if blob, rerr := c.ReportBytes(ctx, key); rerr == nil {
+				if res, derr := decodeResult(blob); derr == nil {
+					res.Job = j
+					return res, nil
+				}
 			}
 		}
 		return nil, err
@@ -448,5 +500,14 @@ func (c *Client) Run(ctx context.Context, req Request) ([]*opgate.Report, error)
 		}
 		return nil, fmt.Errorf("client: job %s ended %s", j.ID, j.Status)
 	}
-	return c.Reports(ctx, j.ReportKey)
+	blob, err := c.ReportBytes(ctx, j.ReportKey)
+	if err != nil {
+		return nil, err
+	}
+	res, err := decodeResult(blob)
+	if err != nil {
+		return nil, err
+	}
+	res.Job = j
+	return res, nil
 }

@@ -350,12 +350,12 @@ func TestRunSurvivesServerRestart(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	reports, err := newClient(t, ts).Run(context.Background(), Request{Experiment: "fig2"})
+	res, err := newClient(t, ts).Run(context.Background(), Request{Experiment: "fig2"})
 	if err != nil {
 		t.Fatalf("Run did not survive the restart: %v", err)
 	}
-	if len(reports) != 1 || reports[0].Title != "restart survivor" {
-		t.Fatalf("Run returned %+v", reports)
+	if len(res.Reports) != 1 || res.Reports[0].Title != "restart survivor" {
+		t.Fatalf("Run returned %+v", res.Reports)
 	}
 }
 

@@ -17,6 +17,12 @@ type Request struct {
 	Synthetic  string    `json:"synthetic,omitempty"`
 	Seed       uint64    `json:"seed,omitempty"`
 	Class      string    `json:"class,omitempty"`
+	// Direct pins the job to the receiving node: a fleet member must
+	// compute (or serve) it locally instead of forwarding it to the
+	// ring owner. Set by opgated on peer-forwarded submissions — the
+	// loop guard that makes mis-matched ring configurations degrade to
+	// extra local work instead of a forwarding cycle.
+	Direct bool `json:"direct,omitempty"`
 }
 
 // Job is the wire form of a server-side job, also used as the ?follow=1

@@ -1,0 +1,377 @@
+// Command ogload load-tests an opgated node or fleet: N concurrent
+// clients drive a configurable request mix against one or more base
+// URLs for a fixed duration, then report latency percentiles
+// (p50/p95/p99), throughput, error counts, and the serving-path
+// breakdown scraped from /healthz (coalesced / fromCache / fromPeer /
+// computed) as a hit rate.
+//
+//	ogload -addr http://localhost:8501,http://localhost:8502 \
+//	       -clients 16 -duration 10s -mix warm=8,cold=1,sweep=1
+//
+// The mix kinds:
+//
+//	warm   the identical request every time — exercises the memory
+//	       cache, the store, and submission coalescing
+//	cold   a unique VRS threshold per request — a fresh report key
+//	       every time, exercising the compute path and (in a fleet)
+//	       ring routing
+//	sweep  a threshold-grid request (-sweep) — exercises the sweep
+//	       document path
+//
+// With -max-errors and -min-hit-rate set, ogload exits non-zero when
+// the run breaches either bound — the CI smoke gate. Multiple -addr
+// targets are driven round-robin, one client goroutine pinned per
+// target, and the healthz serving counters are summed across targets
+// (scraped before and after the run, so only this run's traffic
+// counts).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opgate/client"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "comma-separated opgated base URLs")
+	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	mixSpec := flag.String("mix", "warm=8,cold=1", "request mix as kind=weight pairs (kinds: warm, cold, sweep)")
+	experiment := flag.String("experiment", "fig2", "experiment driven by every request kind")
+	sweepGrid := flag.String("sweep", "110,70,30", "threshold grid for sweep-kind requests")
+	threshold := flag.Float64("threshold", 50, "VRS threshold for warm requests (and the base for cold ones)")
+	seed := flag.Uint64("seed", 1, "mix-picker RNG seed (runs with one seed pick the same request sequence)")
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON instead of text")
+	maxErrors := flag.Int64("max-errors", -1, "exit non-zero when request errors exceed this (-1 disables)")
+	minHitRate := flag.Float64("min-hit-rate", -1, "exit non-zero when the serving hit rate is below this fraction (-1 disables)")
+	flag.Parse()
+
+	targets := strings.Split(*addr, ",")
+	for i := range targets {
+		targets[i] = strings.TrimRight(strings.TrimSpace(targets[i]), "/")
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ogload:", err)
+		os.Exit(2)
+	}
+	grid, err := parseGrid(*sweepGrid)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ogload: -sweep:", err)
+		os.Exit(2)
+	}
+
+	cs := make([]*client.Client, len(targets))
+	for i, target := range targets {
+		c, err := client.New(target)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ogload:", err)
+			os.Exit(2)
+		}
+		cs[i] = c
+	}
+
+	before := scrapeAll(targets)
+	run := drive(cs, driveConfig{
+		clients:    *clients,
+		duration:   *duration,
+		mix:        mix,
+		experiment: *experiment,
+		threshold:  *threshold,
+		grid:       grid,
+		seed:       *seed,
+	})
+	after := scrapeAll(targets)
+
+	sum := summarize(run, before, after, *duration)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(sum)
+	} else {
+		printSummary(sum)
+	}
+
+	fail := false
+	if *maxErrors >= 0 && sum.Errors > *maxErrors {
+		fmt.Fprintf(os.Stderr, "ogload: FAIL: %d errors > -max-errors %d\n", sum.Errors, *maxErrors)
+		fail = true
+	}
+	if *minHitRate >= 0 && sum.HitRate < *minHitRate {
+		fmt.Fprintf(os.Stderr, "ogload: FAIL: hit rate %.3f < -min-hit-rate %.3f\n", sum.HitRate, *minHitRate)
+		fail = true
+	}
+	if fail {
+		os.Exit(1)
+	}
+}
+
+// mixEntry is one weighted request kind.
+type mixEntry struct {
+	kind   string
+	weight int
+}
+
+func parseMix(spec string) ([]mixEntry, error) {
+	var mix []mixEntry
+	for _, part := range strings.Split(spec, ",") {
+		kind, w, found := strings.Cut(strings.TrimSpace(part), "=")
+		if !found {
+			return nil, fmt.Errorf("mix entry %q: want kind=weight", part)
+		}
+		switch kind {
+		case "warm", "cold", "sweep":
+		default:
+			return nil, fmt.Errorf("mix kind %q: want warm, cold, or sweep", kind)
+		}
+		weight, err := strconv.Atoi(w)
+		if err != nil || weight <= 0 {
+			return nil, fmt.Errorf("mix weight %q: want a positive integer", w)
+		}
+		mix = append(mix, mixEntry{kind, weight})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return mix, nil
+}
+
+func parseGrid(spec string) ([]float64, error) {
+	var grid []float64
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		grid = append(grid, v)
+	}
+	return grid, nil
+}
+
+// pick returns a mix kind drawn by weight.
+func pick(mix []mixEntry, rng *rand.Rand) string {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	n := rng.IntN(total)
+	for _, m := range mix {
+		if n < m.weight {
+			return m.kind
+		}
+		n -= m.weight
+	}
+	return mix[len(mix)-1].kind
+}
+
+type driveConfig struct {
+	clients    int
+	duration   time.Duration
+	mix        []mixEntry
+	experiment string
+	threshold  float64
+	grid       []float64
+	seed       uint64
+}
+
+// runResult is the merged outcome of every client goroutine.
+type runResult struct {
+	latencies []time.Duration // successful requests only
+	requests  int64
+	errors    int64
+	byKind    map[string]int64
+	firstErrs []string
+}
+
+// drive runs the load: cfg.clients goroutines, each pinned round-robin
+// to one target client, each drawing requests from the mix until the
+// deadline. Cold requests perturb the threshold by a process-unique
+// counter so every one derives a fresh report key.
+func drive(cs []*client.Client, cfg driveConfig) *runResult {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+	var coldSeq atomic.Int64
+	results := make([]*runResult, cfg.clients)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &runResult{byKind: map[string]int64{}}
+			results[w] = res
+			c := cs[w%len(cs)]
+			rng := rand.New(rand.NewPCG(cfg.seed, uint64(w)))
+			for ctx.Err() == nil {
+				kind := pick(cfg.mix, rng)
+				req := client.Request{Experiment: cfg.experiment, Threshold: cfg.threshold}
+				switch kind {
+				case "cold":
+					// A unique threshold is a unique report key: the
+					// cheapest request that still exercises the full
+					// selection + simulation + store path.
+					req.Threshold = cfg.threshold + float64(coldSeq.Add(1))/1000
+				case "sweep":
+					req.Threshold = 0
+					req.Thresholds = cfg.grid
+				}
+				start := time.Now()
+				_, err := c.Run(ctx, req)
+				if ctx.Err() != nil && err != nil {
+					break // deadline mid-request, not a server failure
+				}
+				res.requests++
+				res.byKind[kind]++
+				if err != nil {
+					res.errors++
+					if len(res.firstErrs) < 5 {
+						res.firstErrs = append(res.firstErrs, err.Error())
+					}
+					continue
+				}
+				res.latencies = append(res.latencies, time.Since(start))
+			}
+		}(w)
+	}
+	wg.Wait()
+	merged := &runResult{byKind: map[string]int64{}}
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		merged.latencies = append(merged.latencies, res.latencies...)
+		merged.requests += res.requests
+		merged.errors += res.errors
+		for k, v := range res.byKind {
+			merged.byKind[k] += v
+		}
+		merged.firstErrs = append(merged.firstErrs, res.firstErrs...)
+	}
+	return merged
+}
+
+// servingCounters is the /healthz serving section plus the figures the
+// harness reports alongside it.
+type servingCounters struct {
+	Coalesced  int64 `json:"coalesced"`
+	FromCache  int64 `json:"fromCache"`
+	FromPeer   int64 `json:"fromPeer"`
+	Computed   int64 `json:"computed"`
+	Emulations int64 `json:"emulations"`
+}
+
+func (s servingCounters) sub(o servingCounters) servingCounters {
+	return servingCounters{
+		Coalesced:  s.Coalesced - o.Coalesced,
+		FromCache:  s.FromCache - o.FromCache,
+		FromPeer:   s.FromPeer - o.FromPeer,
+		Computed:   s.Computed - o.Computed,
+		Emulations: s.Emulations - o.Emulations,
+	}
+}
+
+// scrapeAll sums the serving counters over every target's /healthz
+// (a missing or malformed response contributes zero — the summary is
+// advisory; the request error count is the hard signal).
+func scrapeAll(targets []string) servingCounters {
+	var total servingCounters
+	for _, target := range targets {
+		resp, err := http.Get(target + "/healthz")
+		if err != nil {
+			continue
+		}
+		var body struct {
+			Serving    servingCounters `json:"serving"`
+			Emulations int64           `json:"emulations"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		total.Coalesced += body.Serving.Coalesced
+		total.FromCache += body.Serving.FromCache
+		total.FromPeer += body.Serving.FromPeer
+		total.Computed += body.Serving.Computed
+		total.Emulations += body.Emulations
+	}
+	return total
+}
+
+// summary is the run's full result document (the -json output).
+type summary struct {
+	Requests   int64            `json:"requests"`
+	Errors     int64            `json:"errors"`
+	ByKind     map[string]int64 `json:"byKind"`
+	Throughput float64          `json:"requestsPerSecond"`
+	P50Ms      float64          `json:"p50Ms"`
+	P95Ms      float64          `json:"p95Ms"`
+	P99Ms      float64          `json:"p99Ms"`
+	Serving    servingCounters  `json:"serving"` // deltas across the run
+	HitRate    float64          `json:"hitRate"`
+	FirstErrs  []string         `json:"firstErrors,omitempty"`
+}
+
+func summarize(run *runResult, before, after servingCounters, d time.Duration) summary {
+	sort.Slice(run.latencies, func(i, j int) bool { return run.latencies[i] < run.latencies[j] })
+	delta := after.sub(before)
+	served := delta.Coalesced + delta.FromCache + delta.FromPeer + delta.Computed
+	hitRate := 0.0
+	if served > 0 {
+		hitRate = float64(delta.Coalesced+delta.FromCache+delta.FromPeer) / float64(served)
+	}
+	return summary{
+		Requests:   run.requests,
+		Errors:     run.errors,
+		ByKind:     run.byKind,
+		Throughput: float64(run.requests) / d.Seconds(),
+		P50Ms:      percentile(run.latencies, 0.50),
+		P95Ms:      percentile(run.latencies, 0.95),
+		P99Ms:      percentile(run.latencies, 0.99),
+		Serving:    delta,
+		HitRate:    hitRate,
+		FirstErrs:  run.firstErrs,
+	}
+}
+
+// percentile reads the p-quantile (nearest-rank) off sorted latencies,
+// in milliseconds.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func printSummary(s summary) {
+	fmt.Printf("requests   %d (%.1f/s)\n", s.Requests, s.Throughput)
+	fmt.Printf("errors     %d\n", s.Errors)
+	kinds := make([]string, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-8s %d\n", k, s.ByKind[k])
+	}
+	fmt.Printf("latency    p50 %.1fms  p95 %.1fms  p99 %.1fms\n", s.P50Ms, s.P95Ms, s.P99Ms)
+	fmt.Printf("serving    coalesced %d  fromCache %d  fromPeer %d  computed %d\n",
+		s.Serving.Coalesced, s.Serving.FromCache, s.Serving.FromPeer, s.Serving.Computed)
+	fmt.Printf("hit rate   %.3f\n", s.HitRate)
+	fmt.Printf("emulations %d\n", s.Serving.Emulations)
+	for _, e := range s.FirstErrs {
+		fmt.Printf("error: %s\n", e)
+	}
+}

@@ -293,12 +293,15 @@ func TestClientEndToEnd(t *testing.T) {
 	}
 	ctx := context.Background()
 
-	reports, err := c.Run(ctx, client.Request{Experiment: "table1", Threshold: 50})
+	res, err := c.Run(ctx, client.Request{Experiment: "table1", Threshold: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 1 || reports[0].ID != "table1" {
-		t.Fatalf("Run decoded %d reports (first ID %q)", len(reports), reports[0].ID)
+	if len(res.Reports) != 1 || res.Reports[0].ID != "table1" {
+		t.Fatalf("Run decoded %d reports (first ID %q)", len(res.Reports), res.Reports[0].ID)
+	}
+	if res.Sweep != nil || res.Job.Status != client.StatusDone {
+		t.Fatalf("Run result misclassified: %+v", res)
 	}
 
 	// Follow sees the full lifecycle of a fresh job.

@@ -28,6 +28,20 @@
 // queue-full response is derived from observed job service times, not a
 // constant.
 //
+// Fleet: with -peers (the comma-separated base URLs of every member,
+// this node included) and -self (this node's URL as it appears there),
+// the node joins a coordinator-free ring. Report keys are routed by
+// consistent hashing; a submission whose key owns on a peer is
+// satisfied from that peer's store or forwarded there (the "direct"
+// request field pins a forwarded job to its receiver), and any peer
+// failure — down, draining, version-skewed — falls back to local
+// compute with no request error. The node's store becomes two tiers:
+// the local directory in front, ring peers behind (read-through,
+// async write-back). All members must run the same -peers list; ring
+// membership, per-peer health, and forwarding counters appear under
+// "fleet" in /healthz. cmd/ogload load-tests a node or fleet and
+// scripts/fleet_smoke.sh holds a live 2-node ring to the contract.
+//
 // API (JSON unless noted):
 //
 //	POST   /v1/experiments    {"experiment":"fig8","threshold":50,
@@ -48,7 +62,13 @@
 //	                          text/plain by default, the canonical
 //	                          structured JSON (schema opgate.reports/v1)
 //	                          under Accept: application/json
-//	GET    /healthz           liveness + job and store counters
+//	GET    /v1/objects/{key}  raw object bytes from this node's LOCAL
+//	                          store tier (404 on miss); PUT stores,
+//	                          DELETE drops — the fleet replication API,
+//	                          deliberately never consulting peers so
+//	                          object traffic terminates in one hop
+//	GET    /healthz           liveness + job, store, serving-path, and
+//	                          fleet counters
 //	GET    /readyz            readiness: 503 the moment a drain begins
 //
 // Failure semantics: jobs run under a deadline (-job-timeout, terminal
@@ -72,6 +92,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -92,6 +113,8 @@ func main() {
 	maxInflight := flag.String("max-inflight-bytes", "0", "estimated uncached-work footprint admitted concurrently, e.g. 64MiB (0 = unbounded)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline once running (terminal status \"timeout\"; 0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for running jobs before cancelling them")
+	peers := flag.String("peers", "", "comma-separated base URLs of every fleet member (including this node); enables consistent-hash routing")
+	self := flag.String("self", "", "this node's base URL as it appears in -peers (required with -peers)")
 	flag.Parse()
 
 	cfg := serverConfig{
@@ -105,18 +128,40 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.MaxInflightBytes = inflight
+	var local *store.DirBackend
 	if *storeDir != "" {
 		limit, err := store.ParseSize(*storeLimit)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "opgated: -store-limit:", err)
 			os.Exit(2)
 		}
-		st, err := store.Open(*storeDir, limit)
+		local, err = store.OpenDir(*storeDir, limit)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "opgated:", err)
 			os.Exit(2)
 		}
-		cfg.Store = st
+		cfg.Store = store.NewStore(local)
+		cfg.Objects = local
+	}
+	if *peers != "" {
+		members := strings.Split(*peers, ",")
+		for i := range members {
+			members[i] = strings.TrimRight(strings.TrimSpace(members[i]), "/")
+		}
+		fl, err := newFleet(strings.TrimRight(*self, "/"), members)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opgated:", err)
+			os.Exit(2)
+		}
+		cfg.Fleet = fl
+		if local != nil {
+			// The node's store becomes two-tier: the local directory in
+			// front, ring peers behind (read-through, async write-back).
+			// /v1/objects keeps serving the *local* tier only, so peer
+			// object traffic always terminates here.
+			cfg.Store = store.NewStore(store.NewTiered(local, fl.remote(), 0))
+		}
+		log.Printf("opgated: fleet of %d (self %s)", len(members), *self)
 	}
 	jpath := *journalPath
 	if jpath == "auto" {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime/debug"
@@ -29,6 +30,19 @@ type serverConfig struct {
 	Store        *store.Store  // optional persistent trace/report store
 	JobTimeout   time.Duration // per-job deadline once running (0 = none)
 	DrainTimeout time.Duration // how long Drain waits for running jobs
+
+	// Objects, when set, is served raw over GET/PUT/DELETE /v1/objects —
+	// the node's local store tier, which ring peers read and write as
+	// their remote tier. Deliberately the *local* tier, never the tiered
+	// composition: an object request must terminate here, not fan out to
+	// another peer.
+	Objects store.Backend
+
+	// Fleet, when set, makes this node one member of a consistent-hash
+	// ring: submissions whose report key owns elsewhere are satisfied
+	// from (or forwarded to) the owner, falling back to local compute on
+	// any peer failure.
+	Fleet *fleet
 
 	// Journal, when set, records every job status transition durably; at
 	// boot Recovered (the journal's replay) re-adopts the previous
@@ -88,6 +102,17 @@ type server struct {
 	svcMu    sync.Mutex
 	svcTimes []time.Duration
 	svcNext  int
+
+	// Serving-path counters (/healthz "serving"): how each answered
+	// submission was satisfied. ogload derives its hit rate from these.
+	srvCoalesced atomic.Int64 // coalesced onto an identical live job
+	srvFromCache atomic.Int64 // report already in memory cache or store
+	srvFromPeer  atomic.Int64 // replicated from the ring owner
+	srvComputed  atomic.Int64 // computed here, cold
+
+	// retiredEmus carries the emulation counters of evicted sessions, so
+	// the /healthz "emulations" total is monotonic across session churn.
+	retiredEmus atomic.Int64
 
 	mu           sync.Mutex
 	jobs         map[string]*job
@@ -152,6 +177,9 @@ func newServer(cfg serverConfig) *server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/reports/{key}", s.handleReport)
+	s.mux.HandleFunc("GET /v1/objects/{key}", s.handleObjectGet)
+	s.mux.HandleFunc("PUT /v1/objects/{key}", s.handleObjectPut)
+	s.mux.HandleFunc("DELETE /v1/objects/{key}", s.handleObjectDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	// Re-adopt the previous process's jobs before any worker can race the
@@ -415,6 +443,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// the fresh job below simply replaces it in the pending map (the
 		// old job's cleanup is guarded by identity, not key).
 		s.mu.Unlock()
+		s.srvCoalesced.Add(1)
 		s.respondJob(w, http.StatusOK, j)
 		return
 	}
@@ -447,6 +476,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// An identical twin registered while the lock was dropped for the
 		// warm check: coalesce onto it.
 		s.mu.Unlock()
+		s.srvCoalesced.Add(1)
 		s.respondJob(w, http.StatusOK, j)
 		return
 	}
@@ -458,6 +488,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		threshold:  req.Threshold,
 		synthetics: names,
 		reportKey:  key,
+		direct:     req.Direct,
 		ctx:        ctx,
 		cancel:     cancel,
 		status:     "queued",
@@ -690,6 +721,70 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	_ = opgate.TextRenderer{}.Render(w, reports)
 }
 
+// maxObjectBytes caps a PUT /v1/objects body. Packed traces are bounded
+// by the emulator's trace budget and report documents are far smaller,
+// so the cap only fends off abuse.
+const maxObjectBytes = 64 << 20
+
+// The raw object API: the node's local store tier served verbatim, the
+// surface ring peers use as their remote tier. GET is a pure
+// content-address lookup (404 = miss, by contract indistinguishable
+// from any peer fault); PUT is idempotent — objects are immutable under
+// their key — so a retried or replayed write is harmless.
+func (s *server) handleObjectGet(w http.ResponseWriter, r *http.Request) {
+	key, err := store.ParseKey(r.PathValue("key"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.cfg.Objects == nil {
+		httpError(w, http.StatusNotFound, "no object store configured")
+		return
+	}
+	data, ok := s.cfg.Objects.Get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no object under that key")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+func (s *server) handleObjectPut(w http.ResponseWriter, r *http.Request) {
+	key, err := store.ParseKey(r.PathValue("key"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.cfg.Objects == nil {
+		httpError(w, http.StatusServiceUnavailable, "no object store configured")
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxObjectBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading object body: %v", err)
+		return
+	}
+	if err := s.cfg.Objects.Put(key, data); err != nil {
+		httpError(w, http.StatusInternalServerError, "storing object: %v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleObjectDelete(w http.ResponseWriter, r *http.Request) {
+	key, err := store.ParseKey(r.PathValue("key"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.cfg.Objects != nil {
+		s.cfg.Objects.Delete(key)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	jobCounts := map[string]int{}
@@ -697,11 +792,13 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		jobCounts[j.view().Status]++
 	}
 	s.mu.Unlock()
+	emulations := s.emulationsTotal()
 	resp := map[string]any{
-		"ok":        true,
-		"jobs":      jobCounts,
-		"draining":  s.draining.Load(),
-		"followers": s.followers.Load(),
+		"ok":         true,
+		"jobs":       jobCounts,
+		"draining":   s.draining.Load(),
+		"followers":  s.followers.Load(),
+		"emulations": emulations,
 		"admission": map[string]any{
 			"queueDepth":        len(s.queue),
 			"queueCapacity":     s.cfg.Queue,
@@ -710,6 +807,12 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			"coldInflightBytes": s.coldBytes.Load(),
 			"meanServiceMs":     s.meanService().Milliseconds(),
 		},
+		"serving": map[string]any{
+			"coalesced": s.srvCoalesced.Load(),
+			"fromCache": s.srvFromCache.Load(),
+			"fromPeer":  s.srvFromPeer.Load(),
+			"computed":  s.srvComputed.Load(),
+		},
 	}
 	if s.cfg.Store != nil {
 		resp["store"] = s.cfg.Store.Stats()
@@ -717,7 +820,23 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Journal != nil {
 		resp["journal"] = s.cfg.Journal.Stats()
 	}
+	if s.cfg.Fleet != nil {
+		resp["fleet"] = s.cfg.Fleet.healthSnapshot()
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// emulationsTotal is the process-wide functional-emulation count:
+// retired sessions' totals plus every live session's counter — the
+// zero-on-warm probe the fleet smoke reads from /healthz.
+func (s *server) emulationsTotal() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.retiredEmus.Load()
+	for _, sess := range s.sessions {
+		total += sess.Emulations()
+	}
+	return total
 }
 
 // handleReady is the readiness probe: distinct from /healthz (the process
@@ -871,6 +990,11 @@ func (s *server) sessionFor(synthetics []string) *opgate.Session {
 		s.sessions[key] = sess
 		s.sessionOrder = append(s.sessionOrder, key)
 		for len(s.sessionOrder) > sessionCacheMax {
+			// Roll the evicted session's emulation count into the retired
+			// total so the /healthz "emulations" figure stays monotonic.
+			if old, ok := s.sessions[s.sessionOrder[0]]; ok {
+				s.retiredEmus.Add(old.Emulations())
+			}
 			delete(s.sessions, s.sessionOrder[0])
 			s.sessionOrder = s.sessionOrder[1:]
 		}
@@ -937,11 +1061,33 @@ func (s *server) runJob(j *job) {
 	}
 
 	// Warm path: an earlier job (or process, via the store) already
-	// built this exact report sequence.
+	// built this exact report sequence. With a tiered store this check
+	// also reads through to the ring owner's tier.
 	if data, ok := s.getReport(j.reportKey); ok {
+		s.srvFromCache.Add(1)
 		j.log(fmt.Sprintf("served from cache (%d bytes)", len(data)))
 		j.setStatus("done")
 		return
+	}
+
+	// Fleet path: a cold job whose report key owns on another ring
+	// member is satisfied there — its store tier first, else a forwarded
+	// submission — so N nodes act as one coalescing cache. Any peer
+	// failure falls through to local compute, which is always correct.
+	if f := s.cfg.Fleet; f != nil && !j.direct {
+		if owner := f.owner(string(j.reportKey)); owner != f.self {
+			if s.serveFromPeer(ctx, j, owner) {
+				s.srvFromPeer.Add(1)
+				j.setStatus("done")
+				return
+			}
+			if ctx.Err() != nil {
+				j.finishErr(ctx.Err())
+				return
+			}
+			f.peerFallbacks.Add(1)
+			j.log("peer unavailable; computing locally")
+		}
 	}
 
 	started := time.Now()
@@ -960,6 +1106,7 @@ func (s *server) runJob(j *job) {
 		s.putReport(j.reportKey, blob)
 		j.log(fmt.Sprintf("sweep report stored (%d bytes, %d thresholds)", len(blob), len(ths)))
 		s.observeService(time.Since(started))
+		s.srvComputed.Add(1)
 		j.setStatus("done")
 		return
 	}
@@ -995,6 +1142,7 @@ func (s *server) runJob(j *job) {
 	// Only full cold runs feed the Retry-After estimate — cache hits
 	// would drag the mean toward zero and make shed hints dishonest.
 	s.observeService(time.Since(started))
+	s.srvComputed.Add(1)
 	j.setStatus("done")
 }
 
@@ -1056,6 +1204,10 @@ type job struct {
 	// worker retires it).
 	cold       bool
 	coldCharge int64
+
+	// direct pins the job to this node (Request.Direct): a forwarded
+	// submission must never forward again.
+	direct bool
 
 	// onEvent, when set, is the durable-journal hook: invoked under j.mu
 	// on every status transition, so the journal's per-job order is

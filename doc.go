@@ -47,11 +47,17 @@
 // observed service times), and SIGKILL crash recovery via a durable job
 // journal (-journal, on by default with -store: a restarted process
 // re-adopts in-flight jobs under their original IDs and never re-runs
-// work whose report is already stored). Package opgate/client is the
-// matching Go client: submit/poll/follow/cancel with context-aware
-// exponential backoff that honors Retry-After (typed RetryAfterError),
-// and a Run that survives server restarts by falling back to the
-// content-addressed report when a job vanishes mid-wait.
+// work whose report is already stored). Several opgated nodes shard
+// their stores into one fleet (-peers: consistent-hash routing of
+// report keys, peer-object replication over GET/PUT /v1/objects/{key},
+// local compute whenever a peer fails), and `ogload` load-tests a node
+// or fleet with latency percentiles and hit-rate gates. Package
+// opgate/client is the matching Go client: submit/poll/follow/cancel
+// with context-aware exponential backoff that honors Retry-After
+// (typed RetryAfterError), a typed Run (Result{Reports,Sweep}) that
+// survives server restarts by falling back to the content-addressed
+// report when a job vanishes mid-wait, and an ObjectBackend adapting a
+// peer's object API to the store.Backend contract.
 // internal/core is a thin compatibility shim; the examples/ programs use
 // the public API only. See internal/harness for the per-experiment
 // drivers and DESIGN.md for the full system inventory. The root package
@@ -69,5 +75,9 @@
 // traces and structured report blobs survive under hash addresses, so a
 // warm `ogbench -store DIR` rerun emulates nothing while printing
 // byte-identical reports, and a restarted opgated serves its predecessor's
-// reports in either representation.
+// reports in either representation. The storage substrate is pluggable
+// (WithBackend over any store.Backend — a directory tier, an HTTP
+// object peer, or a store.NewTiered composition of both), and every
+// backend inherits the accelerator-only contract: a fault of any class
+// is a cache miss, never an error.
 package opgate

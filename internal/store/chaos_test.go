@@ -24,7 +24,7 @@ func chaosStore(t *testing.T, limit int64) (*Store, *FaultFS) {
 // listDir returns the file names under a store subdirectory.
 func listDir(t *testing.T, s *Store, sub string) []string {
 	t.Helper()
-	entries, err := os.ReadDir(filepath.Join(s.root, sub))
+	entries, err := os.ReadDir(filepath.Join(s.Dir().root, sub))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +98,7 @@ func TestChaosTornRenameIsAMiss(t *testing.T) {
 	if _, ok := s.GetTrace(key, p, id); ok {
 		t.Fatal("torn object decoded as a valid trace")
 	}
-	if _, err := os.Stat(s.objectPath(key)); !os.IsNotExist(err) {
+	if _, err := os.Stat(s.Dir().objectPath(key)); !os.IsNotExist(err) {
 		t.Fatal("torn object was not dropped after failing validation")
 	}
 	ff.Clear()
@@ -124,19 +124,19 @@ func TestChaosRemoveFaults(t *testing.T) {
 	}
 	// Corrupt the object in place, then make removes fail: GetTrace must
 	// still be a miss despite the failed drop.
-	blob, err := os.ReadFile(s.objectPath(key))
+	blob, err := os.ReadFile(s.Dir().objectPath(key))
 	if err != nil {
 		t.Fatal(err)
 	}
 	blob[len(blob)-1] ^= 0xFF
-	if err := os.WriteFile(s.objectPath(key), blob, 0o644); err != nil {
+	if err := os.WriteFile(s.Dir().objectPath(key), blob, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	ff.FailRemoves(1)
 	if _, ok := s.GetTrace(key, p, id); ok {
 		t.Fatal("corrupt object served as a hit under remove faults")
 	}
-	if _, err := os.Stat(s.objectPath(key)); err != nil {
+	if _, err := os.Stat(s.Dir().objectPath(key)); err != nil {
 		t.Fatal("remove fault did not actually block the drop")
 	}
 	ff.Clear()
@@ -164,14 +164,14 @@ func TestChaosEvictionUnderRemoveFaults(t *testing.T) {
 			t.Fatalf("put %d under remove faults: %v", i, err)
 		}
 	}
-	if size, err := s.Size(); err != nil || size < 4*objSize {
+	if size, err := s.Dir().Size(); err != nil || size < 4*objSize {
 		t.Fatalf("remove faults should have pinned every object: size %d err %v", size, err)
 	}
 	ff.Clear()
 	if err := s.Put(deriveKey("evict", "final"), blob); err != nil {
 		t.Fatal(err)
 	}
-	if size, err := s.Size(); err != nil || size > 2*objSize {
+	if size, err := s.Dir().Size(); err != nil || size > 2*objSize {
 		t.Fatalf("store did not sweep back under budget after faults cleared: size %d err %v", size, err)
 	}
 	if s.Stats().Evictions == 0 {
@@ -257,11 +257,11 @@ func TestChaosDirentLossAfterPut(t *testing.T) {
 	// Control: the knob really does model the hazard — a rename with no
 	// directory sync afterwards is lost by the same power cut.
 	raw := deriveKey("volatile", "object")
-	tmp := filepath.Join(s.root, "tmp", "control")
+	tmp := filepath.Join(s.Dir().root, "tmp", "control")
 	if err := os.WriteFile(tmp, []byte("unsynced"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := ff.Rename(tmp, s.objectPath(raw)); err != nil {
+	if err := ff.Rename(tmp, s.Dir().objectPath(raw)); err != nil {
 		t.Fatal(err)
 	}
 	if lost := ff.DropUnsyncedRenames(); lost != 1 {

@@ -43,11 +43,60 @@ func ParseSize(s string) (int64, error) {
 	return n << shift, nil
 }
 
-// Store is a content-addressed artifact cache rooted at a directory. All
-// methods are safe for concurrent use; the root may also be shared between
-// processes (writes are atomic renames, so readers never see a partial
-// object — the LRU budget is then enforced independently by each writer).
-type Store struct {
+// Backend is the raw object tier under a Store: a content-addressed
+// blob cache keyed by Key. Implementations are an accelerator only and
+// must uphold the degradation contract — a fault (disk misbehavior, a
+// dead peer, a torn response) reads as a miss, never as an error the
+// simulation pipeline has to care about; only Put surfaces errors, and
+// callers treat those as best-effort. Implementations must be safe for
+// concurrent use.
+//
+// DirBackend is the local directory tier, Tiered composes a local
+// backend in front of a remote one, and the opgate/client package
+// provides an HTTP backend speaking opgated's /v1/objects API. The
+// trace/report codec helpers layer on top via Store.
+type Backend interface {
+	// Get returns the object stored under key; ok is false on a miss
+	// (absent, unreadable, or unreachable — faults are misses).
+	Get(key Key) ([]byte, bool)
+	// Put stores data under key. Errors are surfaced for accounting but
+	// callers treat writes as best-effort.
+	Put(key Key, data []byte) error
+	// Delete removes the object stored under key, if any (best-effort).
+	Delete(key Key)
+	// Stats returns a snapshot of the backend's traffic counters.
+	Stats() Stats
+}
+
+// Stats is a point-in-time snapshot of store traffic. The tiered fields
+// stay zero for flat backends.
+type Stats struct {
+	Hits      int64 // Get found the object
+	Misses    int64 // Get found nothing usable (absent, corrupt, mismatched)
+	Puts      int64 // objects written
+	PutErrors int64 // writes that failed (the pipeline continues uncached)
+	Evictions int64 // objects removed by the LRU sweep
+
+	// Rejects counts objects a Store's codec helpers found unusable
+	// after a raw hit (decode failure, identity mismatch); each one is
+	// reclassified hit → miss in this snapshot.
+	Rejects int64 `json:",omitempty"`
+
+	// Tiered traffic (Tiered backends only): where hits landed and how
+	// the asynchronous remote write-back fared.
+	LocalHits       int64 `json:",omitempty"`
+	RemoteHits      int64 `json:",omitempty"`
+	WriteBacks      int64 `json:",omitempty"`
+	WriteBackErrors int64 `json:",omitempty"`
+	WriteBackDrops  int64 `json:",omitempty"`
+}
+
+// DirBackend is the content-addressed directory tier rooted at a local
+// directory. All methods are safe for concurrent use; the root may also
+// be shared between processes (writes are atomic renames, so readers
+// never see a partial object — the LRU budget is then enforced
+// independently by each writer).
+type DirBackend struct {
 	root  string
 	limit int64 // byte budget; <= 0 means unlimited
 	fs    FS    // the filesystem underneath (osFS outside of chaos tests)
@@ -58,43 +107,35 @@ type Store struct {
 	hits, misses, puts, putErrors, evictions atomic.Int64
 }
 
-// Stats is a point-in-time snapshot of store traffic.
-type Stats struct {
-	Hits      int64 // Get found the object
-	Misses    int64 // Get found nothing usable (absent, corrupt, mismatched)
-	Puts      int64 // objects written
-	PutErrors int64 // writes that failed (the pipeline continues uncached)
-	Evictions int64 // objects removed by the LRU sweep
+// OpenDir creates (if needed) and opens a directory backend rooted at
+// dir with the given byte budget (limit <= 0 disables eviction).
+func OpenDir(dir string, limit int64) (*DirBackend, error) {
+	return OpenDirFS(dir, limit, osFS{})
 }
 
-// Open creates (if needed) and opens a store rooted at dir with the given
-// byte budget (limit <= 0 disables eviction).
-func Open(dir string, limit int64) (*Store, error) {
-	return OpenFS(dir, limit, osFS{})
-}
-
-// OpenFS is Open over an explicit filesystem — the chaos-test entry point
-// (pair it with a FaultFS to inject disk misbehavior into a live store).
-func OpenFS(dir string, limit int64, fs FS) (*Store, error) {
+// OpenDirFS is OpenDir over an explicit filesystem — the chaos-test
+// entry point (pair it with a FaultFS to inject disk misbehavior into a
+// live store).
+func OpenDirFS(dir string, limit int64, fs FS) (*DirBackend, error) {
 	for _, sub := range []string{"objects", "tmp"} {
 		if err := fs.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}
 	}
-	s := &Store{root: dir, limit: limit, fs: fs}
-	s.sweepStaleTemps()
+	b := &DirBackend{root: dir, limit: limit, fs: fs}
+	b.sweepStaleTemps()
 	if limit > 0 {
 		// Seed the resident-size tracker so Put only pays a directory
 		// sweep when the budget is actually exceeded. Other processes
 		// sharing the root can drift this number; the eviction sweep
 		// recomputes it exactly.
-		s.size, _ = s.Size()
+		b.size, _ = b.Size()
 	}
-	return s, nil
+	return b, nil
 }
 
-// Root returns the store's root directory.
-func (s *Store) Root() string { return s.root }
+// Root returns the backend's root directory.
+func (b *DirBackend) Root() string { return b.root }
 
 // staleTempAge is how old an orphaned staging file must be before Open
 // reclaims it; younger ones may belong to another live process sharing
@@ -104,50 +145,50 @@ const staleTempAge = time.Hour
 // sweepStaleTemps reclaims staging files left by crashed writers — they
 // live outside objects/, so neither the size tracker nor the LRU sweep
 // would ever account for them.
-func (s *Store) sweepStaleTemps() {
-	dir := filepath.Join(s.root, "tmp")
-	entries, err := s.fs.ReadDir(dir)
+func (b *DirBackend) sweepStaleTemps() {
+	dir := filepath.Join(b.root, "tmp")
+	entries, err := b.fs.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	cutoff := time.Now().Add(-staleTempAge)
 	for _, e := range entries {
 		if info, err := e.Info(); err == nil && info.ModTime().Before(cutoff) {
-			_ = s.fs.Remove(filepath.Join(dir, e.Name()))
+			_ = b.fs.Remove(filepath.Join(dir, e.Name()))
 		}
 	}
 }
 
 // Stats returns a snapshot of the traffic counters.
-func (s *Store) Stats() Stats {
+func (b *DirBackend) Stats() Stats {
 	return Stats{
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Puts:      s.puts.Load(),
-		PutErrors: s.putErrors.Load(),
-		Evictions: s.evictions.Load(),
+		Hits:      b.hits.Load(),
+		Misses:    b.misses.Load(),
+		Puts:      b.puts.Load(),
+		PutErrors: b.putErrors.Load(),
+		Evictions: b.evictions.Load(),
 	}
 }
 
 // objectPath maps a key to its file. Keys are validated hex (ParseKey) or
 // derived in-process, so the join cannot escape the objects directory.
-func (s *Store) objectPath(key Key) string {
-	return filepath.Join(s.root, "objects", string(key))
+func (b *DirBackend) objectPath(key Key) string {
+	return filepath.Join(b.root, "objects", string(key))
 }
 
 // Get returns the object stored under key, touching its recency. A missing
 // object is (nil, false); read errors count as misses — the store
 // accelerates the pipeline and must never fail it.
-func (s *Store) Get(key Key) ([]byte, bool) {
-	path := s.objectPath(key)
-	data, err := s.fs.ReadFile(path)
+func (b *DirBackend) Get(key Key) ([]byte, bool) {
+	path := b.objectPath(key)
+	data, err := b.fs.ReadFile(path)
 	if err != nil {
-		s.misses.Add(1)
+		b.misses.Add(1)
 		return nil, false
 	}
 	now := time.Now()
-	_ = s.fs.Chtimes(path, now, now) // LRU touch; best-effort
-	s.hits.Add(1)
+	_ = b.fs.Chtimes(path, now, now) // LRU touch; best-effort
+	b.hits.Add(1)
 	return data, true
 }
 
@@ -156,18 +197,18 @@ func (s *Store) Get(key Key) ([]byte, bool) {
 // parent-directory fsync can lose the entry on power failure, which would
 // silently undermine the store's durability claim. The sweep back under
 // the byte budget follows.
-func (s *Store) Put(key Key, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (b *DirBackend) Put(key Key, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	var replaced int64
-	if s.limit > 0 {
-		if info, err := s.fs.Stat(s.objectPath(key)); err == nil {
+	if b.limit > 0 {
+		if info, err := b.fs.Stat(b.objectPath(key)); err == nil {
 			replaced = info.Size()
 		}
 	}
-	f, err := s.fs.CreateTemp(filepath.Join(s.root, "tmp"), "put-*")
+	f, err := b.fs.CreateTemp(filepath.Join(b.root, "tmp"), "put-*")
 	if err != nil {
-		s.putErrors.Add(1)
+		b.putErrors.Add(1)
 		return fmt.Errorf("store: put %s: %w", key, err)
 	}
 	tmp := f.Name()
@@ -180,38 +221,38 @@ func (s *Store) Put(key Key, data []byte) error {
 		werr = cerr
 	}
 	if werr == nil {
-		werr = s.fs.Rename(tmp, s.objectPath(key))
+		werr = b.fs.Rename(tmp, b.objectPath(key))
 	}
 	if werr != nil {
-		s.fs.Remove(tmp)
-		s.putErrors.Add(1)
+		b.fs.Remove(tmp)
+		b.putErrors.Add(1)
 		return fmt.Errorf("store: put %s: %w", key, werr)
 	}
-	if derr := s.fs.SyncDir(filepath.Join(s.root, "objects")); derr != nil {
+	if derr := b.fs.SyncDir(filepath.Join(b.root, "objects")); derr != nil {
 		// The object is installed and valid — readers can use it now — but
 		// its directory entry may not survive a power cut. Surface the
 		// degraded durability without undoing a good write.
-		s.putErrors.Add(1)
+		b.putErrors.Add(1)
 		return fmt.Errorf("store: put %s: sync dir: %w", key, derr)
 	}
-	s.puts.Add(1)
-	if s.limit > 0 {
-		s.size += int64(len(data)) - replaced
-		if s.size > s.limit {
-			s.evictLocked(key)
+	b.puts.Add(1)
+	if b.limit > 0 {
+		b.size += int64(len(data)) - replaced
+		if b.size > b.limit {
+			b.evictLocked(key)
 		}
 	}
 	return nil
 }
 
 // Delete removes the object stored under key, if any.
-func (s *Store) Delete(key Key) {
-	_ = s.fs.Remove(s.objectPath(key))
+func (b *DirBackend) Delete(key Key) {
+	_ = b.fs.Remove(b.objectPath(key))
 }
 
 // Size returns the total bytes resident in the objects directory.
-func (s *Store) Size() (int64, error) {
-	entries, err := s.fs.ReadDir(filepath.Join(s.root, "objects"))
+func (b *DirBackend) Size() (int64, error) {
+	entries, err := b.fs.ReadDir(filepath.Join(b.root, "objects"))
 	if err != nil {
 		return 0, err
 	}
@@ -230,9 +271,9 @@ func (s *Store) Size() (int64, error) {
 // processes share the root). The object just written (keep) survives the
 // sweep even when it alone exceeds the budget: evicting the artifact the
 // caller is about to rely on would make the budget self-defeating.
-func (s *Store) evictLocked(keep Key) {
-	dir := filepath.Join(s.root, "objects")
-	entries, err := s.fs.ReadDir(dir)
+func (b *DirBackend) evictLocked(keep Key) {
+	dir := filepath.Join(b.root, "objects")
+	entries, err := b.fs.ReadDir(dir)
 	if err != nil {
 		return
 	}
@@ -253,18 +294,71 @@ func (s *Store) evictLocked(keep Key) {
 	}
 	sort.Slice(objs, func(i, j int) bool { return objs[i].mtime.Before(objs[j].mtime) })
 	for _, o := range objs {
-		if total <= s.limit {
+		if total <= b.limit {
 			break
 		}
 		if o.name == string(keep) {
 			continue
 		}
-		if s.fs.Remove(filepath.Join(dir, o.name)) == nil {
+		if b.fs.Remove(filepath.Join(dir, o.name)) == nil {
 			total -= o.size
-			s.evictions.Add(1)
+			b.evictions.Add(1)
 		}
 	}
-	s.size = total
+	b.size = total
+}
+
+// Store layers the trace/report codec helpers over any Backend: raw
+// blobs come straight from the backend; GetTrace/PutTrace add the
+// versioned codec, and any object the codec rejects is dropped and
+// reclassified as a miss (the miss-on-any-defect contract holds
+// regardless of the tier underneath).
+type Store struct {
+	Backend
+	rejects atomic.Int64
+}
+
+// NewStore wraps a Backend with the codec helpers. Sessions and the
+// opgated service consume stores, not raw backends, so every tier
+// composition — plain directory, HTTP peer, tiered — plugs in here.
+func NewStore(b Backend) *Store { return &Store{Backend: b} }
+
+// Open creates (if needed) and opens a directory-backed store rooted at
+// dir with the given byte budget (limit <= 0 disables eviction).
+func Open(dir string, limit int64) (*Store, error) {
+	b, err := OpenDir(dir, limit)
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(b), nil
+}
+
+// OpenFS is Open over an explicit filesystem — the chaos-test entry point
+// (pair it with a FaultFS to inject disk misbehavior into a live store).
+func OpenFS(dir string, limit int64, fs FS) (*Store, error) {
+	b, err := OpenDirFS(dir, limit, fs)
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(b), nil
+}
+
+// Dir returns the directory backend underneath, when the store is a
+// plain directory store (Open/OpenFS); nil for other backends.
+func (s *Store) Dir() *DirBackend {
+	b, _ := s.Backend.(*DirBackend)
+	return b
+}
+
+// Stats returns the backend's counters with the codec rejects folded in:
+// a raw hit the codec refused reads as the miss it effectively was.
+func (s *Store) Stats() Stats {
+	st := s.Backend.Stats()
+	r := s.rejects.Load()
+	st.Hits -= r
+	st.Misses += r
+	st.Rejects = r
+	return st
 }
 
 // GetTrace returns the packed trace stored under key, decoded and bound to
@@ -279,8 +373,7 @@ func (s *Store) GetTrace(key Key, p *prog.Program, identity Hash) (*emu.Trace, b
 	tr, err := DecodeTrace(data, p, identity)
 	if err != nil {
 		s.Delete(key)
-		s.hits.Add(-1) // reclassify: the object was not usable
-		s.misses.Add(1)
+		s.rejects.Add(1) // reclassify: the object was not usable
 		return nil, false
 	}
 	return tr, true

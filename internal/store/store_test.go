@@ -58,7 +58,7 @@ func TestStoreTraceDefectIsMiss(t *testing.T) {
 	}
 
 	// Flip one payload byte in place.
-	path := s.objectPath(key)
+	path := s.Dir().objectPath(key)
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +106,7 @@ func TestStoreEviction(t *testing.T) {
 		}
 		// Pin distinct, old mtimes so LRU order is deterministic.
 		at := base.Add(time.Duration(i) * time.Minute)
-		if err := os.Chtimes(s.objectPath(keys[i]), at, at); err != nil {
+		if err := os.Chtimes(s.Dir().objectPath(keys[i]), at, at); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -120,13 +120,13 @@ func TestStoreEviction(t *testing.T) {
 	if err := s.Put(newKey, blob); err != nil {
 		t.Fatal(err)
 	}
-	if size, err := s.Size(); err != nil || size > 3*objSize {
+	if size, err := s.Dir().Size(); err != nil || size > 3*objSize {
 		t.Fatalf("store over budget after sweep: %d bytes (err %v)", size, err)
 	}
-	if _, err := os.Stat(s.objectPath(newKey)); err != nil {
+	if _, err := os.Stat(s.Dir().objectPath(newKey)); err != nil {
 		t.Fatal("just-written object was evicted")
 	}
-	if _, err := os.Stat(s.objectPath(keys[1])); err != nil {
+	if _, err := os.Stat(s.Dir().objectPath(keys[1])); err != nil {
 		t.Fatal("recently read object was evicted ahead of colder ones")
 	}
 	if s.Stats().Evictions == 0 {
@@ -147,7 +147,7 @@ func TestStoreKeptObjectMayExceedBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	old := time.Now().Add(-time.Hour)
-	if err := os.Chtimes(s.objectPath(small), old, old); err != nil {
+	if err := os.Chtimes(s.Dir().objectPath(small), old, old); err != nil {
 		t.Fatal(err)
 	}
 	big := deriveKey("k", "big")
@@ -157,7 +157,7 @@ func TestStoreKeptObjectMayExceedBudget(t *testing.T) {
 	if _, ok := s.Get(big); !ok {
 		t.Fatal("over-budget object did not survive its own write")
 	}
-	if _, err := os.Stat(s.objectPath(small)); !os.IsNotExist(err) {
+	if _, err := os.Stat(s.Dir().objectPath(small)); !os.IsNotExist(err) {
 		t.Fatal("older object survived a sweep that needed its bytes")
 	}
 }
@@ -227,8 +227,8 @@ func TestStoreConcurrent(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	if limit := int64(8 * len(blob)); s.limit != limit {
-		t.Fatalf("limit drifted: %d", s.limit)
+	if limit := int64(8 * len(blob)); s.Dir().limit != limit {
+		t.Fatalf("limit drifted: %d", s.Dir().limit)
 	}
 }
 

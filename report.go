@@ -86,6 +86,17 @@ type Store = store.Store
 // StoreStats are a store's hit/miss/eviction counters.
 type StoreStats = store.Stats
 
+// Backend is the raw byte-level storage contract a Store is layered
+// over: Get/Put/Delete/Stats on opaque blobs under content-addressed
+// keys. Implementations include the directory store, the HTTP object
+// backend (package opgate/client), and the two-tier composition
+// (store.NewTiered). Plug one into a session with WithBackend.
+type Backend = store.Backend
+
+// NewStore layers the codec and reject-tracking Store API over any
+// Backend.
+func NewStore(b Backend) *Store { return store.NewStore(b) }
+
 // OpenStore opens (or creates) a store rooted at dir. limitBytes bounds
 // the store's size (LRU eviction); 0 means unlimited.
 func OpenStore(dir string, limitBytes int64) (*Store, error) {

@@ -133,6 +133,21 @@ func WithStoreDir(dir string, limitBytes int64) Option {
 	}
 }
 
+// WithBackend is WithStore over any storage Backend — a directory tier,
+// an HTTP object peer, a tiered composition, or a custom implementation.
+// The backend is wrapped in the standard Store codec layer, so sessions
+// see the same accelerator-only contract regardless of what holds the
+// bytes.
+func WithBackend(b Backend) Option {
+	return func(s *Session) error {
+		if b == nil {
+			return fmt.Errorf("WithBackend: nil backend")
+		}
+		s.suite.Store = store.NewStore(b)
+		return nil
+	}
+}
+
 // RunOption adjusts one Run/RunAll/ReportKey call.
 type RunOption func(*runParams)
 

@@ -16,6 +16,7 @@ func TestSessionOptionValidation(t *testing.T) {
 		"zero-threshold":    WithThreshold(0),
 		"unknown-synthetic": WithSynthetics("syn:nosuchfamily/small/1"),
 		"nil-store":         WithStore(nil),
+		"nil-backend":       WithBackend(nil),
 	} {
 		if _, err := NewSession(opt); err == nil {
 			t.Errorf("%s: NewSession accepted an invalid option", name)
@@ -67,6 +68,46 @@ func TestSessionRunAndExperiments(t *testing.T) {
 	}
 	if _, err := sess.Run(context.Background(), "fig99"); err == nil {
 		t.Error("Run accepted an unknown experiment")
+	}
+}
+
+// TestSessionWithBackend: a custom Backend plugged into a session via
+// WithBackend accelerates warm runs exactly like a directory store —
+// the second run over the same suite reads cells back instead of
+// re-emulating, and the injected backend sees the traffic.
+func TestSessionWithBackend(t *testing.T) {
+	dir, err := store.OpenDir(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []Option{WithQuick(true), WithBackend(dir), WithSynthetics("syn:narrow/small/1")}
+	cold, err := NewSession(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := cold.Run(context.Background(), "fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := cold.StoreStats()
+	if !ok || st.Puts == 0 {
+		t.Fatalf("cold session never stored through the backend: %+v (ok=%v)", st, ok)
+	}
+
+	warm, err := NewSession(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := warm.Run(context.Background(), "fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ = warm.StoreStats()
+	if st.Hits == 0 {
+		t.Fatalf("warm session re-emulated everything: %+v", st)
+	}
+	if len(r1.Rows) != len(r2.Rows) {
+		t.Fatalf("backend-accelerated run diverged: %d vs %d rows", len(r1.Rows), len(r2.Rows))
 	}
 }
 
