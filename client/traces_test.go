@@ -1,0 +1,68 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestUploadTrace: the client sends the blob verbatim with the name and
+// class in the query, and decodes the server's import description.
+func TestUploadTrace(t *testing.T) {
+	blob := []byte{0x4f, 0x47, 0x54, 0x52, 0x00, 0x01}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/traces" {
+			t.Errorf("got %s %s", r.Method, r.URL.Path)
+		}
+		if r.URL.Query().Get("name") != "twin" || r.URL.Query().Get("class") != "train" {
+			t.Errorf("query = %q", r.URL.RawQuery)
+		}
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != string(blob) {
+			t.Errorf("body = %x", body)
+		}
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"name":"trace:twin","class":"train","identity":"ab","events":7,"static_ins":3}`))
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.UploadTrace(context.Background(), "twin", "train", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "trace:twin" || info.Class != "train" || info.Events != 7 || info.StaticIns != 3 {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+// TestUploadTraceTooLarge: a 413 surfaces as a typed *APIError, not a
+// retry loop — oversized is a permanent condition.
+func TestUploadTraceTooLarge(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusRequestEntityTooLarge)
+		_, _ = w.Write([]byte(`{"error":"trace body exceeds the cap"}`))
+	}))
+	defer ts.Close()
+
+	c, err := New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.UploadTrace(context.Background(), "big", "", []byte("x"))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("got %v, want 413 *APIError", err)
+	}
+	if calls != 1 {
+		t.Errorf("413 was retried %d times", calls)
+	}
+}

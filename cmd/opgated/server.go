@@ -19,6 +19,8 @@ import (
 	"opgate/client"
 	"opgate/internal/journal"
 	"opgate/internal/store"
+	"opgate/internal/tracework"
+	"opgate/internal/workload"
 )
 
 // serverConfig fixes the evaluation envelope for the process: every job
@@ -177,6 +179,8 @@ func newServer(cfg serverConfig) *server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/reports/{key}", s.handleReport)
+	s.mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	s.mux.HandleFunc("GET /v1/objects/{key}", s.handleObjectGet)
 	s.mux.HandleFunc("PUT /v1/objects/{key}", s.handleObjectPut)
 	s.mux.HandleFunc("DELETE /v1/objects/{key}", s.handleObjectDelete)
@@ -417,6 +421,30 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// Trace-backed names are validated here, at the submission boundary:
+	// sessionFor treats session-construction failure as programmer error
+	// (panic), and a missing import would otherwise surface only as a job
+	// failure. Both are client-fixable conditions, so both answer 400 —
+	// the evaluation class is fixed by the server's -quick envelope, so
+	// the exact (name, class) pair the job would replay is checked.
+	for _, n := range names {
+		if !workload.IsTrace(n) {
+			continue
+		}
+		if s.cfg.Store == nil {
+			httpError(w, http.StatusBadRequest,
+				"workload %q is trace-backed; this server has no store to replay it from", n)
+			return
+		}
+		evalClass := workload.Ref
+		if s.cfg.Quick {
+			evalClass = workload.Train
+		}
+		if _, err := tracework.NewLibrary(s.cfg.Store).Lookup(n, evalClass); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 	}
 
 	// The report key carries the executable's own hash: a rebuilt server
@@ -725,6 +753,91 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 // by the emulator's trace budget and report documents are far smaller,
 // so the cap only fends off abuse.
 const maxObjectBytes = 64 << 20
+
+// maxTraceBytes caps a POST /v1/traces body. Unlike the raw object API,
+// an uploaded trace is fully decoded and re-validated before anything is
+// stored, so the cap also bounds the ingestion work one request can buy.
+const maxTraceBytes = 64 << 20
+
+// handleTraceUpload ingests a codec-framed trace blob and registers it
+// as a "trace:" workload in the server's store, after which every node
+// sharing that store (directly or via the ring's object tier) can
+// evaluate it by name with zero emulations. The body is the raw blob;
+// the registry name and input class ride in query parameters. The
+// upload is content-addressed and idempotent: re-posting the same blob
+// under the same name rewrites identical bytes.
+func (s *server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Store == nil {
+		httpError(w, http.StatusServiceUnavailable, "no store configured; imported traces need -store")
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		httpError(w, http.StatusBadRequest, "query parameter \"name\" is required")
+		return
+	}
+	if !workload.IsTrace(name) {
+		name = workload.TraceName(name)
+	}
+	if _, err := workload.ParseTraceName(name); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	class, err := traceClass(r.URL.Query().Get("class"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxTraceBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"trace body exceeds the %d-byte cap", mbe.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading trace body: %v", err)
+		return
+	}
+	ing, err := tracework.Ingest(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := tracework.NewLibrary(s.cfg.Store).Put(name, class, ing); err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":       name,
+		"class":      class.String(),
+		"identity":   ing.Identity.String(),
+		"events":     ing.Events,
+		"static_ins": ing.StaticIns,
+	})
+}
+
+// handleTraceList returns the store's imported-trace index.
+func (s *server) handleTraceList(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Store == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"traces": []any{}})
+		return
+	}
+	entries := tracework.NewLibrary(s.cfg.Store).List()
+	writeJSON(w, http.StatusOK, map[string]any{"traces": entries})
+}
+
+// traceClass parses the upload API's class parameter ("" = train, the
+// profiling class a quick server evaluates on).
+func traceClass(s string) (workload.InputClass, error) {
+	switch s {
+	case "", "train":
+		return workload.Train, nil
+	case "ref":
+		return workload.Ref, nil
+	}
+	return 0, fmt.Errorf("class %q: want train or ref", s)
+}
 
 // The raw object API: the node's local store tier served verbatim, the
 // surface ring peers use as their remote tier. GET is a pure

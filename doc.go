@@ -65,10 +65,27 @@
 //
 // Beyond the paper's eight kernels, internal/progen generates seed-driven
 // synthetic workloads in six behavioral families spanning the
-// dynamic-width spectrum; `ogbench -synthetic all` (or a family list with
-// -seed/-class, shared with opgated via ExpandSynthetics) runs every
-// experiment over the expanded suite, and internal/progen/difftest
-// asserts the substrate's equivalence invariants on arbitrary seeds.
+// dynamic-width spectrum, plus two non-stationary forms: phase-structured
+// composites that walk through several families in sequence
+// (syn:phase/<f1>-<f2>/<class>/<seed>) and the adversarial width-flip
+// family alternating narrow and wide arms every <period> blocks
+// (syn:flip/<period>/<class>/<seed>). `ogbench -synthetic all` (or a
+// family list with -seed/-class, shared with opgated via
+// ExpandSynthetics) runs every experiment over the expanded suite, and
+// internal/progen/difftest asserts the substrate's equivalence
+// invariants on arbitrary seeds, composites and flips alike.
+//
+// Retirement traces cross the pipeline boundary as workloads of their
+// own. `ogtrace export` captures any registry workload as a codec-framed
+// trace blob; `ogtrace import` (or POST /v1/traces?name=N&class=C on a
+// store-backed opgated, body-capped with 413 past 64 MiB, with
+// client.UploadTrace as the Go surface) validates the blob end to end
+// and registers it under a trace:<name> workload name. From then on any
+// session whose store holds the import — WithSynthetics("trace:mytrace")
+// plus WithStore/WithStoreDir — replays it through every replay-capable
+// experiment byte-identically with zero emulations; paths that need a
+// live run (VRS training, non-base variants, unfused simulation) error
+// with workload.ErrTraceOnly rather than fabricating results.
 //
 // Evaluation artifacts persist across processes through the
 // content-addressed store (OpenStore / WithStore): packed retirement

@@ -93,6 +93,11 @@ func (b *Builder) Emit(in isa.Instruction) int {
 	return len(b.ins) - 1
 }
 
+// InsCount returns the number of instructions emitted so far — the index
+// the next emitted instruction will occupy. Phase-structured generators
+// use it to record the instruction range each phase body occupies.
+func (b *Builder) InsCount() int { return len(b.ins) }
+
 // --- Data segment -----------------------------------------------------
 
 // Space reserves n zero bytes in the data segment under a symbol and

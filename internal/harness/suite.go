@@ -97,6 +97,8 @@ type Suite struct {
 	Uarch uarch.Config
 	Power power.Params
 
+	traceLibState
+
 	progs    memo[progKey, *prog.Program]
 	vrps     memo[vrpKey, *vrp.Result]
 	profiles memo[string, *vrs.Profile]
@@ -171,8 +173,13 @@ func (s *Suite) evalClass() workload.InputClass {
 }
 
 // Program returns (cached) the named benchmark built for an input class.
+// Trace-backed workloads resolve to their imported skeleton instead of a
+// source build.
 func (s *Suite) Program(name string, class workload.InputClass) (*prog.Program, error) {
 	return s.progs.do(progKey{name, class}, func() (*prog.Program, error) {
+		if workload.IsTrace(name) {
+			return s.traceProgram(name, class)
+		}
 		w, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
@@ -185,8 +192,13 @@ func (s *Suite) Program(name string, class workload.InputClass) (*prog.Program, 
 	})
 }
 
-// VRP returns (cached) the analysis of the evaluation binary.
+// VRP returns (cached) the analysis of the evaluation binary. A trace
+// skeleton has no analyzable control flow (only the executed path is
+// known), so trace-backed workloads are gated here.
 func (s *Suite) VRP(name string, mode vrp.Mode) (*vrp.Result, error) {
+	if workload.IsTrace(name) {
+		return nil, traceOnlyErr(name, "VRP analysis")
+	}
 	return s.vrps.do(vrpKey{name, mode}, func() (*vrp.Result, error) {
 		p, err := s.Program(name, s.evalClass())
 		if err != nil {
@@ -206,6 +218,11 @@ func (s *Suite) VRP(name string, mode vrp.Mode) (*vrp.Result, error) {
 // serves the whole threshold grid — a K-point sweep performs exactly one
 // train emulation per workload.
 func (s *Suite) vrsProfile(name string) (*vrs.Profile, error) {
+	if workload.IsTrace(name) {
+		// Profiling emulates the train binary live; a trace workload has
+		// neither a train binary nor a live form.
+		return nil, traceOnlyErr(name, "VRS profiling")
+	}
 	return s.profiles.do(name, func() (*vrs.Profile, error) {
 		trainP, err := s.Program(name, workload.Train)
 		if err != nil {
@@ -245,6 +262,11 @@ func (s *Suite) VRS(name string, threshold float64) (*vrs.Result, error) {
 // variantProgram resolves (cached) a named program variant for simulation.
 func (s *Suite) variantProgram(name, variant string) (*prog.Program, error) {
 	return s.variants.do(variantKey{name, variant}, func() (*prog.Program, error) {
+		if workload.IsTrace(name) && variant != "base" {
+			// Every non-base variant is a re-optimized rebuild; a trace
+			// workload's only binary is its skeleton.
+			return nil, traceOnlyErr(name, "variant "+variant)
+		}
 		switch variant {
 		case "base":
 			return s.Program(name, s.evalClass())
@@ -328,6 +350,11 @@ func (s *Suite) TrainEmulations() int64 { return s.trainRuns.Load() }
 // cached trace.
 func (s *Suite) Sim(name, variant string, mode power.GatingMode) (*uarch.Result, error) {
 	if s.Unfused {
+		if workload.IsTrace(name) {
+			// Unfused means one live emulation per simulation; a trace
+			// workload's only runnable form is replay of its records.
+			return nil, traceOnlyErr(name, "unfused simulation")
+		}
 		return s.sims.do(simKey{name, variant, mode}, func() (*uarch.Result, error) {
 			p, err := s.variantProgram(name, variant)
 			if err != nil {
@@ -403,6 +430,12 @@ func (s *Suite) simModes(name, variant string, modes []power.GatingMode) ([]*uar
 // via state captured in the factory closure.
 func (s *Suite) traceWith(name, variant string, rider func(*prog.Program) (emu.Sink, error)) (*emu.Trace, error) {
 	return s.traces.do(variantKey{name, variant}, func() (*emu.Trace, error) {
+		if workload.IsTrace(name) {
+			// Imported traces are hit-or-error: there is no emulation to
+			// fall back to, so the rider never runs (callers take the
+			// replay path) and the budget does not apply.
+			return s.traceTrace(name, variant)
+		}
 		p, err := s.variantProgram(name, variant)
 		if err != nil {
 			return nil, err
@@ -464,6 +497,16 @@ func (s *Suite) traceWith(name, variant string, rider func(*prog.Program) (emu.S
 // the fly. Consumers read op/width/value columns directly and never
 // dereference per-event instruction pointers.
 func (s *Suite) recordsOf(name, variant string, rs emu.RecSink) error {
+	if workload.IsTrace(name) {
+		// Always via the trace path, even Unfused: replay is the imported
+		// workload's only record source (Unfused would try to emulate).
+		tr, err := s.traceWith(name, variant, nil)
+		if err != nil {
+			return err
+		}
+		tr.Records(rs)
+		return nil
+	}
 	if !s.Unfused {
 		rode := false
 		tr, err := s.traceWith(name, variant, func(p *prog.Program) (emu.Sink, error) {

@@ -9,8 +9,9 @@ import (
 )
 
 // ExpandSynthetics expands a synthetic-workload spec — "all" (the curated
-// set), a comma-separated family list, or exact "syn:family/class/seed"
-// names — into validated, deduplicated registry names for Suite.Synthetics.
+// set), a comma-separated family list, exact "syn:..." names, or
+// imported-trace "trace:<name>" names — into validated, deduplicated
+// registry names for Suite.Synthetics.
 // cmd/ogbench's -synthetic flag and opgated's experiment requests share
 // this expansion, so a spec means the same workload set everywhere.
 //
@@ -40,7 +41,9 @@ func ExpandSynthetics(spec string, seed uint64, class string, seedClassSet bool)
 			if part == "" {
 				continue
 			}
-			if workload.IsSynthetic(part) {
+			if workload.IsSynthetic(part) || workload.IsTrace(part) {
+				// Exact registry names (generated or imported-trace) pass
+				// through; ByName validates them below.
 				names = append(names, part)
 				continue
 			}

@@ -204,3 +204,35 @@ func Check(f progen.Family, seed uint64, c progen.Class) error {
 	}
 	return nil
 }
+
+// CheckPhased generates the phase-structured composite's train and ref
+// programs and asserts the execution-equivalence invariant on both —
+// the same property Check asserts, over the non-stationary program
+// space.
+func CheckPhased(families []progen.Family, seed uint64, c progen.Class) error {
+	for _, ref := range []bool{false, true} {
+		p, _, err := progen.GeneratePhased(families, seed, c, ref)
+		if err != nil {
+			return err
+		}
+		if err := CheckExec(p); err != nil {
+			return fmt.Errorf("phase/%s/%s/%d ref=%v: %w", progen.PhaseLabel(families), c, seed, ref, err)
+		}
+	}
+	return nil
+}
+
+// CheckFlip generates the width-flip program's train and ref variants
+// and asserts the execution-equivalence invariant on both.
+func CheckFlip(period int, seed uint64, c progen.Class) error {
+	for _, ref := range []bool{false, true} {
+		p, err := progen.GenerateFlip(period, seed, c, ref)
+		if err != nil {
+			return err
+		}
+		if err := CheckExec(p); err != nil {
+			return fmt.Errorf("flip/%d/%s/%d ref=%v: %w", period, c, seed, ref, err)
+		}
+	}
+	return nil
+}

@@ -47,8 +47,44 @@ func TestDifferentialClasses(t *testing.T) {
 	}
 }
 
+// TestDifferentialPhasedSweep: the substrate invariants hold across the
+// non-stationary program space — phase composites pairing every family
+// with its width-spectrum opposite, and the adversarial width-flip
+// family over a period grid.
+func TestDifferentialPhasedSweep(t *testing.T) {
+	t.Run("phase", func(t *testing.T) {
+		t.Parallel()
+		for _, f := range progen.Families() {
+			opposite := progen.Wide
+			if f == progen.Wide || f == progen.Pointer {
+				opposite = progen.Narrow
+			}
+			for seed := uint64(1); seed <= 3; seed++ {
+				if err := CheckPhased([]progen.Family{f, opposite}, seed, progen.Small); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// A triple composite exercises more than pairwise stitching.
+		if err := CheckPhased([]progen.Family{progen.Narrow, progen.Wide, progen.Branchy}, 5, progen.Small); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("flip", func(t *testing.T) {
+		t.Parallel()
+		for _, period := range []int{1, 2, 7, 64} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				if err := CheckFlip(period, seed, progen.Small); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // TestFusedModesSmoke: the fused-accounting invariant holds on a
-// generated program from each end of the width spectrum (the full
+// generated program from each end of the width spectrum, on a phase
+// composite spanning both ends, and on the width-flip family (the full
 // family × class property matrix lives in the harness tests).
 func TestFusedModesSmoke(t *testing.T) {
 	for _, f := range []progen.Family{progen.Narrow, progen.Wide} {
@@ -59,6 +95,20 @@ func TestFusedModesSmoke(t *testing.T) {
 		if err := CheckFusedModes(p); err != nil {
 			t.Fatalf("%v: %v", f, err)
 		}
+	}
+	p, _, err := progen.GeneratePhased([]progen.Family{progen.Narrow, progen.Wide}, 3, progen.Small, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFusedModes(p); err != nil {
+		t.Fatalf("phase/narrow-wide: %v", err)
+	}
+	fp, err := progen.GenerateFlip(2, 3, progen.Small, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFusedModes(fp); err != nil {
+		t.Fatalf("flip/2: %v", err)
 	}
 }
 

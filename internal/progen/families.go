@@ -1,12 +1,17 @@
 package progen
 
 import (
-	"opgate/internal/asm"
 	"opgate/internal/isa"
 	"opgate/internal/prog"
 )
 
-// This file holds the per-family code generators. Shared conventions:
+// This file holds the per-family code generators. Each generator emits a
+// self-contained phase body — the family's data segment, code, and Out
+// instructions, but no Func or Halt — so the same body serves as a whole
+// single-family program (under Generate's main/Halt frame) or as one
+// phase of a composite (GeneratePhased). Bodies initialise every
+// register they read, so sequential composition is safe. Shared
+// conventions:
 //
 //   - s-registers hold loop-invariant bases and live accumulators; the
 //     t-registers are scratch. Callees (stream's reduce) touch only
@@ -39,12 +44,11 @@ func (g *gen) narrow() {
 	n := g.class.elems()
 	passes := g.trips(2)
 
-	b.Bytes("in", g.input.bytes(n, 256))
-	b.Space("out", n)
+	b.Bytes(g.sym("in"), g.input.bytes(n, 256))
+	b.Space(g.sym("out"), n)
 
-	b.Func("main")
-	b.LoadAddr(s1, "in")
-	b.LoadAddr(s2, "out")
+	b.LoadAddr(s1, g.sym("in"))
+	b.LoadAddr(s2, g.sym("out"))
 	b.Lda(s5, rz, 0)                       // pass counter
 	b.Lda(s6, rz, int64(g.code.intn(256))) // accumulator 1
 	b.Lda(s7, rz, int64(g.code.intn(256))) // accumulator 2
@@ -100,7 +104,6 @@ func (g *gen) narrow() {
 
 	b.Out(isa.W16, s4)
 	b.Out(isa.W8, s6)
-	b.Halt()
 }
 
 // wide: 64-bit mixing chains (multiply, xor-shift, add) over full-range
@@ -114,12 +117,11 @@ func (g *gen) wide() {
 	for i := range words {
 		words[i] = int64(g.input.next())
 	}
-	b.Words("words", words)
-	b.Space("sink", n*8)
+	b.Words(g.sym("words"), words)
+	b.Space(g.sym("sink"), n*8)
 
-	b.Func("main")
-	b.LoadAddr(s1, "words")
-	b.LoadAddr(s2, "sink")
+	b.LoadAddr(s1, g.sym("words"))
+	b.LoadAddr(s2, g.sym("sink"))
 	// A genuinely 64-bit odd multiplier (top bit forced so LoadImm always
 	// expands identically).
 	b.LoadImm(s4, int64(g.code.next()|1|1<<63))
@@ -156,7 +158,6 @@ func (g *gen) wide() {
 	b.CondBranch(isa.OpBNE, t5, pass)
 
 	b.Out(isa.W64, s6)
-	b.Halt()
 }
 
 // pointer: chase a randomized single-cycle node ring by absolute 5-byte
@@ -168,24 +169,26 @@ func (g *gen) pointer() {
 	const stride = 16 // next pointer (8) + payload (8, low byte used)
 	steps := g.trips(nodes * 2)
 
-	// The node array must be the first data symbol: pointer values are
-	// absolute virtual addresses computed against the segment base.
+	// Pointer values are absolute virtual addresses, so the node array's
+	// placement must be known before its contents exist: probe the data
+	// cursor (a zero-length reservation defines nothing and moves
+	// nothing), build the ring against it, then place the array there.
+	base := b.Space("", 0)
 	perm := g.input.cycle(nodes)
 	vals := make([]int64, 2*nodes)
 	for i := 0; i < nodes; i++ {
-		vals[2*i] = asm.DefaultDataBase + int64(perm[i])*stride
+		vals[2*i] = base + int64(perm[i])*stride
 		vals[2*i+1] = int64(g.input.intn(256))
 	}
-	if addr := b.Words("nodes", vals); addr != asm.DefaultDataBase {
-		g.fail("node array not at the data base (%#x)", addr)
+	if addr := b.Words(g.sym("nodes"), vals); addr != base {
+		g.fail("node array moved from its probed base (%#x != %#x)", addr, base)
 		return
 	}
 
-	b.Func("main")
-	b.LoadAddr(s1, "nodes") // current node
-	b.Lda(s2, rz, 0)        // step counter
-	b.Lda(s3, rz, 0)        // payload accumulator
-	b.Lda(s4, rz, 0)        // pointer accumulator
+	b.LoadAddr(s1, g.sym("nodes")) // current node
+	b.Lda(s2, rz, 0)               // step counter
+	b.Lda(s3, rz, 0)               // payload accumulator
+	b.Lda(s4, rz, 0)               // pointer accumulator
 
 	loop := g.lbl("chase")
 	b.Label(loop)
@@ -208,7 +211,6 @@ func (g *gen) pointer() {
 
 	b.Out(isa.W16, s3)
 	b.Out(isa.W64, s4)
-	b.Halt()
 }
 
 // branchy: an interpreter-like threshold cascade over a byte stream —
@@ -218,7 +220,7 @@ func (g *gen) branchy() {
 	n := g.class.elems()
 	passes := g.trips(3)
 
-	b.Bytes("in", g.input.bytes(n, 256))
+	b.Bytes(g.sym("in"), g.input.bytes(n, 256))
 
 	arms := g.code.between(3, 6)
 	// Ascending thresholds cut [0,256) into arms+1 regions.
@@ -228,8 +230,7 @@ func (g *gen) branchy() {
 		ths[i] += g.code.between(-12, 12)
 	}
 
-	b.Func("main")
-	b.LoadAddr(s1, "in")
+	b.LoadAddr(s1, g.sym("in"))
 	b.Lda(s5, rz, 0) // accumulator
 	b.Lda(s6, rz, 0) // pass counter
 
@@ -278,7 +279,6 @@ func (g *gen) branchy() {
 	b.CondBranch(isa.OpBNE, t5, pass)
 
 	b.Out(isa.W32, s5)
-	b.Halt()
 }
 
 // stream: a row/column loop nest streaming a 2D array at a narrow element
@@ -308,13 +308,12 @@ func (g *gen) stream() {
 			mat[i*esize+bn] = byte(v >> (8 * bn))
 		}
 	}
-	b.Bytes("mat", mat)
-	b.Space("rowsum", rows*4)
+	b.Bytes(g.sym("mat"), mat)
+	b.Space(g.sym("rowsum"), rows*4)
 	coeff := int64(3 + 2*g.code.intn(8))
 
-	b.Func("main")
-	b.LoadAddr(s1, "mat")
-	b.LoadAddr(s2, "rowsum")
+	b.LoadAddr(s1, g.sym("mat"))
+	b.LoadAddr(s2, g.sym("rowsum"))
 	b.Lda(s5, rz, 0) // total
 	b.Lda(s6, rz, 0) // pass counter
 
@@ -348,28 +347,32 @@ func (g *gen) stream() {
 	b.OpI(isa.OpCMPLT, isa.W32, t8, s6, int64(passes))
 	b.CondBranch(isa.OpBNE, t8, pass)
 
-	// Reduce the row sums in a callee (argument registers, JSR/RET).
-	b.LoadAddr(prog.RegArg0, "rowsum")
+	// Reduce the row sums in a callee (argument registers, JSR/RET). The
+	// callee is a whole function, so its emission is deferred until the
+	// entry function closes (flush); the phase body only calls it.
+	reduce := g.sym("reduce")
+	b.LoadAddr(prog.RegArg0, g.sym("rowsum"))
 	b.Lda(prog.RegArg1, rz, int64(rows))
-	b.Call("reduce")
+	b.Call(reduce)
 	b.Op3(isa.OpXOR, isa.W32, s5, s5, prog.RegRet)
 	b.Out(isa.W32, s5)
-	b.Halt()
 
-	b.Func("reduce")
-	rloop := g.lbl("rloop")
-	b.Lda(t1, rz, 0) // acc
-	b.Lda(t2, rz, 0) // i
-	b.Label(rloop)
-	b.OpI(isa.OpSLL, isa.W32, t3, t2, 2)
-	b.Op3(isa.OpADD, isa.W64, t4, prog.RegArg0, t3)
-	b.Load(isa.W32, t5, t4, 0)
-	b.Op3(isa.OpADD, isa.W32, t1, t1, t5)
-	b.OpI(isa.OpADD, isa.W32, t2, t2, 1)
-	b.Op3(isa.OpCMPLT, isa.W32, t6, t2, prog.RegArg1)
-	b.CondBranch(isa.OpBNE, t6, rloop)
-	b.Op3(isa.OpOR, isa.W32, prog.RegRet, t1, rz) // return value
-	b.Ret()
+	g.deferred = append(g.deferred, func() {
+		b.Func(reduce)
+		rloop := g.lbl("rloop")
+		b.Lda(t1, rz, 0) // acc
+		b.Lda(t2, rz, 0) // i
+		b.Label(rloop)
+		b.OpI(isa.OpSLL, isa.W32, t3, t2, 2)
+		b.Op3(isa.OpADD, isa.W64, t4, prog.RegArg0, t3)
+		b.Load(isa.W32, t5, t4, 0)
+		b.Op3(isa.OpADD, isa.W32, t1, t1, t5)
+		b.OpI(isa.OpADD, isa.W32, t2, t2, 1)
+		b.Op3(isa.OpCMPLT, isa.W32, t6, t2, prog.RegArg1)
+		b.CondBranch(isa.OpBNE, t6, rloop)
+		b.Op3(isa.OpOR, isa.W32, prog.RegRet, t1, rz) // return value
+		b.Ret()
+	})
 }
 
 // churn: mixed-width register churn — random ALU ops at random widths over
@@ -384,14 +387,13 @@ func (g *gen) churn() {
 	for i := range seeds {
 		seeds[i] = int64(g.input.next())
 	}
-	b.Words("seeds", seeds)
-	b.Space("sink", 64)
+	b.Words(g.sym("seeds"), seeds)
+	b.Space(g.sym("sink"), 64)
 
 	pool := []isa.Reg{t1, t2, t3, t4, t5, t6, t7, t8}
 
-	b.Func("main")
-	b.LoadAddr(s1, "seeds")
-	b.LoadAddr(s2, "sink")
+	b.LoadAddr(s1, g.sym("seeds"))
+	b.LoadAddr(s2, g.sym("sink"))
 	b.Lda(s3, rz, 0) // counter
 	for i, r := range pool {
 		b.Load(isa.W64, r, s1, int64(i*8))
@@ -428,5 +430,4 @@ func (g *gen) churn() {
 	}
 	b.Out(isa.W64, s5)
 	b.Out(isa.W32, s3)
-	b.Halt()
 }

@@ -197,6 +197,26 @@ func Generate(f Family, seed uint64, c Class, ref bool) (*prog.Program, error) {
 		class: c,
 		ref:   ref,
 	}
+	g.b.Func("main")
+	g.family(f)
+	g.b.Halt()
+	g.flush()
+	if g.err != nil {
+		return nil, fmt.Errorf("progen: %s/%s/%d: %w", f, c, seed, g.err)
+	}
+	p, err := g.b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("progen: %s/%s/%d: %w", f, c, seed, err)
+	}
+	return p, nil
+}
+
+// family dispatches to the behavioral family's body generator. Bodies
+// assume an open function: they emit the family's data segment and code
+// (including its observable Out instructions) but no Func or Halt, so
+// one body is a complete single-family program under Generate's main/
+// Halt frame and one phase of a composite under GeneratePhased's.
+func (g *gen) family(f Family) {
 	switch f {
 	case Narrow:
 		g.narrow()
@@ -211,14 +231,16 @@ func Generate(f Family, seed uint64, c Class, ref bool) (*prog.Program, error) {
 	case Churn:
 		g.churn()
 	}
-	if g.err != nil {
-		return nil, fmt.Errorf("progen: %s/%s/%d: %w", f, c, seed, g.err)
+}
+
+// flush emits the deferred callee functions (stream's reduce) after the
+// entry function is closed — callees are whole functions, so a body
+// embedded mid-main registers them here instead of emitting inline.
+func (g *gen) flush() {
+	for _, fn := range g.deferred {
+		fn()
 	}
-	p, err := g.b.Build()
-	if err != nil {
-		return nil, fmt.Errorf("progen: %s/%s/%d: %w", f, c, seed, err)
-	}
-	return p, nil
+	g.deferred = nil
 }
 
 // trips scales a train-variant trip count by the variant multiplier.
@@ -230,16 +252,24 @@ func (g *gen) trips(train int) int {
 }
 
 // gen carries one generation: the builder, the two RNG streams, and a
-// label counter for unique control-flow labels.
+// label counter for unique control-flow labels. pfx namespaces data
+// symbols and callee names when a body is embedded as one phase of a
+// composite (empty for single-family generations, so their programs are
+// unchanged); deferred collects callee emitters for flush.
 type gen struct {
-	b     *asm.Builder
-	code  *rng // drives code shape; identical across train/ref
-	input *rng // drives data contents; reseeded for ref (trips scales counts)
-	class Class
-	ref   bool
-	label int
-	err   error
+	b        *asm.Builder
+	code     *rng // drives code shape; identical across train/ref
+	input    *rng // drives data contents; reseeded for ref (trips scales counts)
+	class    Class
+	ref      bool
+	label    int
+	pfx      string
+	deferred []func()
+	err      error
 }
+
+// sym namespaces a data symbol or callee name with the phase prefix.
+func (g *gen) sym(name string) string { return g.pfx + name }
 
 func (g *gen) fail(format string, args ...any) {
 	if g.err == nil {

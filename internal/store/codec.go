@@ -1,7 +1,6 @@
 package store
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc64"
@@ -89,34 +88,56 @@ func EncodeTrace(t *emu.Trace, identity Hash) []byte {
 // whose header, identity, length, checksum, or records do not check out.
 // It never panics on malformed input.
 func DecodeTrace(data []byte, p *prog.Program, identity Hash) (*emu.Trace, error) {
+	recs, stored, err := DecodeTraceRecords(data)
+	if err != nil {
+		return nil, err
+	}
+	if stored != identity {
+		return nil, fmt.Errorf("store: trace identity mismatch (stored %x…, want %x…)", stored[:4], identity[:4])
+	}
+	tr, err := emu.NewTraceFromRecords(p, recs)
+	if err != nil {
+		return nil, fmt.Errorf("store: trace does not validate against program: %w", err)
+	}
+	return tr, nil
+}
+
+// DecodeTraceRecords validates a codec blob's framing — magic, version,
+// reserved bytes, length, checksum — and returns its whole-trace record
+// columns together with the identity the header declares, without
+// binding either to a program. This is the ingestion half of the codec:
+// a caller that has no program yet (tracework synthesizes one from the
+// records) decodes here, then validates the records against whatever
+// program it derives. DecodeTrace composes this with the identity check
+// and emu.NewTraceFromRecords. Never panics on malformed input.
+func DecodeTraceRecords(data []byte) (emu.RecBatch, Hash, error) {
+	var stored Hash
 	if len(data) < codecHeaderSize+codecTrailerSize {
-		return nil, fmt.Errorf("store: trace blob truncated (%d bytes)", len(data))
+		return emu.RecBatch{}, stored, fmt.Errorf("store: trace blob truncated (%d bytes)", len(data))
 	}
 	if string(data[:4]) != codecMagic {
-		return nil, fmt.Errorf("store: bad trace magic %q", data[:4])
+		return emu.RecBatch{}, stored, fmt.Errorf("store: bad trace magic %q", data[:4])
 	}
 	if v := binary.LittleEndian.Uint16(data[4:]); v != codecVersion {
-		return nil, fmt.Errorf("store: unsupported trace format version %d (want %d)", v, codecVersion)
+		return emu.RecBatch{}, stored, fmt.Errorf("store: unsupported trace format version %d (want %d)", v, codecVersion)
 	}
 	if data[6] != 0 || data[7] != 0 {
 		// Encoding is canonical: accepting nonzero reserved bytes would
 		// admit blobs that do not re-encode bit-identically.
-		return nil, fmt.Errorf("store: nonzero reserved header bytes %x", data[6:8])
+		return emu.RecBatch{}, stored, fmt.Errorf("store: nonzero reserved header bytes %x", data[6:8])
 	}
-	if !bytes.Equal(data[8:40], identity[:]) {
-		return nil, fmt.Errorf("store: trace identity mismatch (stored %x…, want %x…)", data[8:12], identity[:4])
-	}
+	copy(stored[:], data[8:40])
 	events := binary.LittleEndian.Uint64(data[40:])
 	if events > math.MaxInt64/codecRecBytes {
-		return nil, fmt.Errorf("store: absurd trace event count %d", events)
+		return emu.RecBatch{}, stored, fmt.Errorf("store: absurd trace event count %d", events)
 	}
 	want := uint64(codecHeaderSize) + events*codecRecBytes + codecTrailerSize
 	if uint64(len(data)) != want {
-		return nil, fmt.Errorf("store: trace blob is %d bytes, want %d for %d events", len(data), want, events)
+		return emu.RecBatch{}, stored, fmt.Errorf("store: trace blob is %d bytes, want %d for %d events", len(data), want, events)
 	}
 	crcOff := len(data) - codecTrailerSize
-	if got, stored := crc64.Checksum(data[:crcOff], crcTable), binary.LittleEndian.Uint64(data[crcOff:]); got != stored {
-		return nil, fmt.Errorf("store: trace checksum mismatch (%#x != %#x)", got, stored)
+	if got, sum := crc64.Checksum(data[:crcOff], crcTable), binary.LittleEndian.Uint64(data[crcOff:]); got != sum {
+		return emu.RecBatch{}, stored, fmt.Errorf("store: trace checksum mismatch (%#x != %#x)", got, sum)
 	}
 
 	n := int(events)
@@ -136,11 +157,7 @@ func DecodeTrace(data []byte, p *prog.Program, identity Hash) (*emu.Trace, error
 		recs.SrcA[i] = int64(binary.LittleEndian.Uint64(data[cols.srcA+8*i:]))
 		recs.SrcB[i] = int64(binary.LittleEndian.Uint64(data[cols.srcB+8*i:]))
 	}
-	tr, err := emu.NewTraceFromRecords(p, recs)
-	if err != nil {
-		return nil, fmt.Errorf("store: trace does not validate against program: %w", err)
-	}
-	return tr, nil
+	return recs, stored, nil
 }
 
 // colOffsets returns the file offsets of the nine record columns for an

@@ -73,6 +73,26 @@ func TraceKey(workload, variant, inputClass string, identity Hash) Key {
 	return deriveKey("trace/v1", workload, variant, inputClass, identity.String())
 }
 
+// TraceMetaKey addresses the metadata document of one imported trace: a
+// small JSON record (internal/tracework) naming the skeleton identity,
+// event count, and blob key of the canonical trace stored under the
+// corresponding TraceKey. Imported traces are keyed by their registry
+// name and input class alone — the name IS the user-facing handle, so a
+// re-import under the same name replaces the previous trace (the old
+// blob stays content-addressed and unreachable).
+func TraceMetaKey(workload, inputClass string) Key {
+	return deriveKey("tracemeta/v1", workload, inputClass)
+}
+
+// TraceIndexKey addresses the best-effort name index of imported traces:
+// a JSON list of registry names, updated read-modify-write on import.
+// The index is a convenience for listing (ogtrace list, fleet
+// inspection); the metadata documents remain the source of truth, so a
+// lost update degrades listing, never correctness.
+func TraceIndexKey() Key {
+	return deriveKey("traceindex/v1")
+}
+
 // ReportKey addresses one experiment report sequence — stored in its
 // structured canonical-JSON form (harness.EncodeReports) and rendered at
 // read time — keyed by the experiment ID (the mode set it simulates is

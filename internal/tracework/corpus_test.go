@@ -1,0 +1,40 @@
+package tracework_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var regenCorpus = flag.Bool("regen-corpus", false, "rewrite the committed FuzzTraceIngest seed corpus")
+
+// TestFuzzIngestCorpusSeeds pins the committed fuzz corpus to
+// ingestCorpusSeeds: plain `go test` replays the committed files through
+// FuzzTraceIngest, and this test guarantees they stay in sync with the
+// codec and the ingestion rules (rewrite with -regen-corpus after a
+// deliberate format change).
+func TestFuzzIngestCorpusSeeds(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzTraceIngest")
+	for i, e := range ingestCorpusSeeds() {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", e)
+		if *regenCorpus {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("missing corpus entry (regenerate with -regen-corpus): %v", err)
+		}
+		if string(got) != content {
+			t.Errorf("%s is stale (regenerate with -regen-corpus)", name)
+		}
+	}
+}

@@ -36,29 +36,103 @@ func Synthetic(f progen.Family, seed uint64, c progen.Class) *Workload {
 	}
 }
 
+// SyntheticPhasedName returns the registry name of a phase-structured
+// composite, e.g. "syn:phase/narrow-wide/small/7".
+func SyntheticPhasedName(families []progen.Family, seed uint64, c progen.Class) string {
+	return fmt.Sprintf("%sphase/%s/%s/%d", synPrefix, progen.PhaseLabel(families), c, seed)
+}
+
+// SyntheticPhased constructs the phase-structured composite workload: the
+// listed family bodies stitched into one program, executing in sequence.
+// The name round-trips through ByName.
+func SyntheticPhased(families []progen.Family, seed uint64, c progen.Class) *Workload {
+	return &Workload{
+		Name: SyntheticPhasedName(families, seed, c),
+		Build: func(class InputClass) (*prog.Program, error) {
+			p, _, err := progen.GeneratePhased(families, seed, c, class == Ref)
+			return p, err
+		},
+	}
+}
+
+// SyntheticFlipName returns the registry name of an adversarial
+// width-flip workload, e.g. "syn:flip/4/small/7".
+func SyntheticFlipName(period int, seed uint64, c progen.Class) string {
+	return fmt.Sprintf("%sflip/%d/%s/%d", synPrefix, period, c, seed)
+}
+
+// SyntheticFlip constructs the adversarial width-flip workload: one
+// program toggling between narrow and wide steady states every period
+// blocks. The name round-trips through ByName.
+func SyntheticFlip(period int, seed uint64, c progen.Class) *Workload {
+	return &Workload{
+		Name: SyntheticFlipName(period, seed, c),
+		Build: func(class InputClass) (*prog.Program, error) {
+			return progen.GenerateFlip(period, seed, c, class == Ref)
+		},
+	}
+}
+
 // IsSynthetic reports whether name denotes a generated workload.
 func IsSynthetic(name string) bool { return strings.HasPrefix(name, synPrefix) }
 
-// parseSynthetic resolves a "syn:<family>/<class>/<seed>" name.
+// parseSynthetic resolves a "syn:..." registry name: the single-family
+// "syn:<family>/<class>/<seed>" form, the phase composite
+// "syn:phase/<f1>-<f2>/<class>/<seed>" form, or the width-flip
+// "syn:flip/<period>/<class>/<seed>" form. ("phase" and "flip" are not
+// family names, so the forms cannot collide.)
 func parseSynthetic(name string) (*Workload, error) {
 	spec := strings.TrimPrefix(name, synPrefix)
 	parts := strings.Split(spec, "/")
-	if len(parts) != 3 {
-		return nil, fmt.Errorf("workload: malformed synthetic name %q (want %sfamily/class/seed)", name, synPrefix)
+	switch {
+	case len(parts) == 4 && parts[0] == "phase":
+		fams, err := progen.ParsePhaseLabel(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: %q: %w", name, err)
+		}
+		c, seed, err := parseClassSeed(name, parts[2], parts[3])
+		if err != nil {
+			return nil, err
+		}
+		return SyntheticPhased(fams, seed, c), nil
+	case len(parts) == 4 && parts[0] == "flip":
+		period, err := strconv.Atoi(parts[1])
+		if err != nil || period < 1 || period > progen.MaxFlipPeriod {
+			return nil, fmt.Errorf("workload: %q: bad flip period %q (want 1..%d)", name, parts[1], progen.MaxFlipPeriod)
+		}
+		c, seed, err := parseClassSeed(name, parts[2], parts[3])
+		if err != nil {
+			return nil, err
+		}
+		return SyntheticFlip(period, seed, c), nil
+	case len(parts) == 3 && parts[0] != "phase" && parts[0] != "flip":
+		// A 3-part phase/flip name is a missing segment, not an unknown
+		// family — let it fall through to the malformed error.
+		f, err := progen.ParseFamily(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: %q: %w", name, err)
+		}
+		c, seed, err := parseClassSeed(name, parts[1], parts[2])
+		if err != nil {
+			return nil, err
+		}
+		return Synthetic(f, seed, c), nil
 	}
-	f, err := progen.ParseFamily(parts[0])
+	return nil, fmt.Errorf("workload: malformed synthetic name %q (want %sfamily/class/seed, %sphase/f1-f2/class/seed, or %sflip/period/class/seed)", name, synPrefix, synPrefix, synPrefix)
+}
+
+// parseClassSeed parses the trailing <class>/<seed> pair every synthetic
+// form shares.
+func parseClassSeed(name, classPart, seedPart string) (progen.Class, uint64, error) {
+	c, err := progen.ParseClass(classPart)
 	if err != nil {
-		return nil, fmt.Errorf("workload: %q: %w", name, err)
+		return 0, 0, fmt.Errorf("workload: %q: %w", name, err)
 	}
-	c, err := progen.ParseClass(parts[1])
+	seed, err := strconv.ParseUint(seedPart, 10, 64)
 	if err != nil {
-		return nil, fmt.Errorf("workload: %q: %w", name, err)
+		return 0, 0, fmt.Errorf("workload: %q: bad seed %q", name, seedPart)
 	}
-	seed, err := strconv.ParseUint(parts[2], 10, 64)
-	if err != nil {
-		return nil, fmt.Errorf("workload: %q: bad seed %q", name, parts[2])
-	}
-	return Synthetic(f, seed, c), nil
+	return c, seed, nil
 }
 
 // CuratedSeedsPerFamily is how many fixed seeds per family the curated

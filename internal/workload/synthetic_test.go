@@ -78,6 +78,44 @@ func TestSyntheticRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPhasedRoundTrip: phase-composite and width-flip names round-trip
+// through ByName and build runnable programs for both input classes.
+func TestPhasedRoundTrip(t *testing.T) {
+	for _, name := range []string{
+		SyntheticPhasedName([]progen.Family{progen.Narrow, progen.Wide}, 7, progen.Small),
+		SyntheticFlipName(2, 7, progen.Small),
+	} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if w.Name != name {
+			t.Errorf("resolved name %q, want %q", w.Name, name)
+		}
+		var dyn [2]int64
+		for _, class := range []InputClass{Train, Ref} {
+			p, err := w.Build(class)
+			if err != nil {
+				t.Fatalf("%s: build(%v): %v", name, class, err)
+			}
+			res, err := emu.Execute(p)
+			if err != nil {
+				t.Fatalf("%s: run(%v): %v", name, class, err)
+			}
+			dyn[class] = res.Dyn
+		}
+		if dyn[Ref] <= dyn[Train] {
+			t.Errorf("%s: ref (%d) not longer than train (%d)", name, dyn[Ref], dyn[Train])
+		}
+	}
+	if got := SyntheticPhasedName([]progen.Family{progen.Narrow, progen.Wide}, 7, progen.Small); got != "syn:phase/narrow-wide/small/7" {
+		t.Errorf("SyntheticPhasedName = %q", got)
+	}
+	if got := SyntheticFlipName(2, 7, progen.Small); got != "syn:flip/2/small/7" {
+		t.Errorf("SyntheticFlipName = %q", got)
+	}
+}
+
 // TestSyntheticLookupErrors: malformed synthetic names fail with precise
 // errors rather than resolving to an arbitrary generator.
 func TestSyntheticLookupErrors(t *testing.T) {
@@ -88,6 +126,17 @@ func TestSyntheticLookupErrors(t *testing.T) {
 		{"syn:pointer/jumbo/1", "unknown size class"},
 		{"syn:pointer/small/banana", "bad seed"},
 		{"syn:pointer/small/-3", "bad seed"},
+		{"syn:phase//small/1", "empty phase family list"},
+		{"syn:phase/narrow-quantum/small/1", "unknown family"},
+		{"syn:phase/narrow-wide/jumbo/1", "unknown size class"},
+		{"syn:phase/narrow-wide/small/banana", "bad seed"},
+		{"syn:phase/narrow-wide-narrow-wide-narrow-wide-narrow-wide-narrow/small/1", "exceed"},
+		{"syn:phase/narrow/small", "malformed"},
+		{"syn:flip/0/small/1", "bad flip period"},
+		{"syn:flip/banana/small/1", "bad flip period"},
+		{"syn:flip/99999/small/1", "bad flip period"},
+		{"syn:flip/4/jumbo/1", "unknown size class"},
+		{"syn:flip/4/small/banana", "bad seed"},
 	}
 	for _, c := range cases {
 		_, err := ByName(c.name)

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"opgate/internal/prog"
+)
+
+// Trace-backed workloads are imported retirement traces registered as
+// first-class benchmarks under the "trace:" namespace. Unlike kernels and
+// synthetics, a trace workload has no generative program: its program is
+// the skeleton synthesized from the trace's per-static table at import
+// time, and its only runnable form is replay of the imported records. The
+// Workload returned here is therefore a registry stub — Name resolves,
+// equality and set membership work, but Build reports ErrTraceOnly. The
+// harness intercepts trace names before ever calling Build and serves
+// both program and trace from the store (internal/tracework).
+
+// TracePrefix marks imported-trace workload names: "trace:<name>".
+const TracePrefix = "trace:"
+
+// MaxTraceNameLen caps the bare (prefix-stripped) trace name length.
+const MaxTraceNameLen = 128
+
+// ErrTraceOnly is reported (wrapped) wherever a trace-backed workload is
+// asked for something only a live program can provide: building the
+// program from source, emulating fresh inputs, profiling a VRS, or any
+// variant beyond base replay. Callers gate with errors.Is.
+var ErrTraceOnly = errors.New("trace-backed workload is replay-only")
+
+// IsTrace reports whether name denotes an imported-trace workload.
+func IsTrace(name string) bool { return strings.HasPrefix(name, TracePrefix) }
+
+// TraceName returns the registry name of an imported trace,
+// e.g. "trace:loopmark".
+func TraceName(bare string) string { return TracePrefix + bare }
+
+// ParseTraceName validates a "trace:<name>" registry name and returns the
+// bare name. Bare names are non-empty, at most MaxTraceNameLen bytes, and
+// restricted to [A-Za-z0-9._-] so they embed safely in store keys, URLs
+// and file names.
+func ParseTraceName(name string) (string, error) {
+	if !IsTrace(name) {
+		return "", fmt.Errorf("workload: %q is not a %s name", name, TracePrefix)
+	}
+	bare := strings.TrimPrefix(name, TracePrefix)
+	if bare == "" {
+		return "", fmt.Errorf("workload: malformed trace name %q (want %s<name>)", name, TracePrefix)
+	}
+	if len(bare) > MaxTraceNameLen {
+		return "", fmt.Errorf("workload: trace name %q exceeds %d bytes", name, MaxTraceNameLen)
+	}
+	for i := 0; i < len(bare); i++ {
+		c := bare[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return "", fmt.Errorf("workload: trace name %q has invalid byte %q (want [A-Za-z0-9._-])", name, c)
+		}
+	}
+	return bare, nil
+}
+
+// parseTrace resolves a "trace:<name>" registry name to its stub
+// workload.
+func parseTrace(name string) (*Workload, error) {
+	if _, err := ParseTraceName(name); err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Name: name,
+		Build: func(class InputClass) (*prog.Program, error) {
+			return nil, fmt.Errorf("workload: %s has no buildable program (its skeleton and records live in the store): %w", name, ErrTraceOnly)
+		},
+	}, nil
+}

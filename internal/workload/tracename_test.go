@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestTraceNameRoundTrip: trace registry names resolve through ByName to
+// a stub whose Build gates with ErrTraceOnly.
+func TestTraceNameRoundTrip(t *testing.T) {
+	name := TraceName("loopmark.v2")
+	if name != "trace:loopmark.v2" {
+		t.Fatalf("TraceName = %q", name)
+	}
+	if !IsTrace(name) || IsTrace("compress") || IsTrace("syn:flip/4/small/1") {
+		t.Error("IsTrace misclassifies")
+	}
+	bare, err := ParseTraceName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare != "loopmark.v2" {
+		t.Errorf("ParseTraceName = %q", bare)
+	}
+	w, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != name {
+		t.Errorf("resolved name %q, want %q", w.Name, name)
+	}
+	if _, err := w.Build(Ref); !errors.Is(err, ErrTraceOnly) {
+		t.Errorf("Build error %v, want ErrTraceOnly", err)
+	}
+}
+
+// TestTraceNameErrors: malformed trace names fail with precise errors
+// rather than resolving to a stub that cannot exist in any store.
+func TestTraceNameErrors(t *testing.T) {
+	cases := []struct{ name, wantSub string }{
+		{"trace:", "malformed"},
+		{"trace:has space", "invalid byte"},
+		{"trace:semi;colon", "invalid byte"},
+		{"trace:path/sep", "invalid byte"},
+		{"trace:dir\\sep", "invalid byte"},
+		{"trace:" + strings.Repeat("x", MaxTraceNameLen+1), "exceeds"},
+	}
+	for _, c := range cases {
+		_, err := ByName(c.name)
+		if err == nil {
+			t.Errorf("ByName(%q) succeeded, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ByName(%q) error %q, want substring %q", c.name, err, c.wantSub)
+		}
+	}
+	if _, err := ParseTraceName("compress"); err == nil {
+		t.Error("ParseTraceName accepted a non-trace name")
+	}
+	// The longest legal name resolves.
+	if _, err := ByName(TraceName(strings.Repeat("x", MaxTraceNameLen))); err != nil {
+		t.Errorf("max-length trace name rejected: %v", err)
+	}
+}
+
+// TestUnknownNameEnumeratesNamespaces: the unknown-benchmark error names
+// every kernel and both registry namespaces, so a typo'd name comes back
+// with the complete menu.
+func TestUnknownNameEnumeratesNamespaces(t *testing.T) {
+	_, err := ByName("fortran")
+	if err == nil {
+		t.Fatal("ByName accepted an unknown benchmark")
+	}
+	msg := err.Error()
+	wants := []string{"fortran", "syn:", "trace:", "phase/", "flip/"}
+	for _, w := range All() {
+		wants = append(wants, w.Name)
+	}
+	for _, sub := range wants {
+		if !strings.Contains(msg, sub) {
+			t.Errorf("unknown-name error %q missing %q", msg, sub)
+		}
+	}
+}

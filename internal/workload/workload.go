@@ -16,6 +16,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"opgate/internal/prog"
 )
@@ -60,8 +61,12 @@ func All() []*Workload {
 	}
 }
 
-// ByName looks a workload up: one of the eight kernels by name, or a
-// generated workload by its "syn:<family>/<class>/<seed>" registry name.
+// ByName looks a workload up: one of the eight kernels by name, a
+// generated workload by its "syn:..." registry name (single-family
+// "syn:<family>/<class>/<seed>", phase-structured
+// "syn:phase/<f1>-<f2>/<class>/<seed>", or width-flip
+// "syn:flip/<period>/<class>/<seed>"), or an imported trace by its
+// "trace:<name>" registry name.
 func ByName(name string) (*Workload, error) {
 	for _, w := range All() {
 		if w.Name == name {
@@ -71,7 +76,16 @@ func ByName(name string) (*Workload, error) {
 	if IsSynthetic(name) {
 		return parseSynthetic(name)
 	}
-	return nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	if IsTrace(name) {
+		return parseTrace(name)
+	}
+	kernels := make([]string, 0, 8)
+	for _, w := range All() {
+		kernels = append(kernels, w.Name)
+	}
+	return nil, fmt.Errorf(
+		"workload: unknown benchmark %q: valid names are the kernels (%s), %s... generated workloads (%sfamily/class/seed, %sphase/f1-f2/class/seed, %sflip/period/class/seed), and %s<name> imported traces",
+		name, strings.Join(kernels, ", "), synPrefix, synPrefix, synPrefix, synPrefix, TracePrefix)
 }
 
 // rng is a deterministic xorshift generator for input synthesis.

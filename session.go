@@ -46,6 +46,17 @@ func NewSession(opts ...Option) (*Session, error) {
 			return nil, fmt.Errorf("opgate: %w", err)
 		}
 	}
+	// Validated after all options ran, because functional options apply in
+	// any order: WithSynthetics(trace...) before WithStore is fine, a
+	// trace-backed workload with no store at the end is not — there would
+	// be nothing to replay from.
+	if s.suite.Store == nil {
+		for _, name := range s.suite.Synthetics {
+			if workload.IsTrace(name) {
+				return nil, fmt.Errorf("opgate: workload %q is trace-backed and needs a store (WithStore or WithStoreDir)", name)
+			}
+		}
+	}
 	return s, nil
 }
 

@@ -28,6 +28,26 @@ func TestSessionOptionValidation(t *testing.T) {
 	}
 }
 
+// TestSessionTraceNeedsStore: a "trace:" workload without a store is a
+// construction-time error regardless of option order — there would be
+// nothing to replay from.
+func TestSessionTraceNeedsStore(t *testing.T) {
+	if _, err := NewSession(WithSynthetics("trace:orphan")); err == nil ||
+		!strings.Contains(err.Error(), "store") {
+		t.Errorf("storeless trace session: got %v, want a needs-a-store error", err)
+	}
+	// With a store the same options construct fine (whether the trace is
+	// imported is a lookup-time question, not a construction-time one),
+	// in either option order.
+	dir := t.TempDir()
+	if _, err := NewSession(WithSynthetics("trace:orphan"), WithStoreDir(dir, 0)); err != nil {
+		t.Errorf("trace-then-store rejected: %v", err)
+	}
+	if _, err := NewSession(WithStoreDir(dir, 0), WithSynthetics("trace:orphan")); err != nil {
+		t.Errorf("store-then-trace rejected: %v", err)
+	}
+}
+
 // TestSessionRunValidatesThreshold: AtThreshold is held to the same rule
 // as WithThreshold — an invalid per-call override errors instead of
 // silently running a nonsense configuration.
